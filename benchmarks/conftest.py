@@ -1,0 +1,47 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one figure/table of the paper's evaluation,
+prints its series and writes it to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference the measured numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks execute their experiment exactly once (``pedantic`` with one
+round): the quantity of interest is the *simulated* outcome, not the host
+wall time, which pytest-benchmark records as a bonus.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist one experiment's rendered table under benchmarks/results."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

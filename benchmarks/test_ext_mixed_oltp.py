@@ -1,0 +1,26 @@
+"""Bench: extension — mixed OLAP/OLTP co-scheduling (paper §VII).
+
+The paper's future work: let concurrent applications benefit from the
+cores the mechanism leaves unallocated.  The quantified claim: point
+queries from a co-located (uncgrouped) application see far lower latency
+when the elastic mechanism confines the OLAP tenant, at no OLAP
+throughput cost.
+"""
+
+from repro.experiments import ext_mixed_oltp
+
+
+def test_ext_mixed_oltp(once, record_result):
+    result = once(ext_mixed_oltp.run)
+    improvement = result.oltp_latency_improvement()
+    record_result("ext_mixed_oltp",
+                  result.table()
+                  + f"\n\nOLTP latency improvement: {improvement:.1f}x")
+
+    os_cell = result.cell(None)
+    adaptive = result.cell("adaptive")
+    # the OLTP tenant gets dramatically faster...
+    assert improvement > 3.0
+    assert adaptive.oltp_p_high < os_cell.oltp_p_high
+    # ...without sacrificing the OLAP tenant
+    assert adaptive.olap_throughput >= os_cell.olap_throughput * 0.9

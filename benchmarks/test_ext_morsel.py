@@ -1,0 +1,19 @@
+"""Bench: extension — the mechanism on a morsel-driven engine (§VI)."""
+
+from repro.experiments import ext_morsel
+
+
+def test_ext_morsel(once, record_result):
+    result = once(ext_morsel.run)
+    record_result("ext_morsel", result.table())
+
+    volcano = result.cell("monetdb", None)
+    morsel = result.cell("morsel", None)
+    governed = result.cell("morsel", "adaptive")
+    # the related-work premise: NUMA-local morsel dispatch moves less
+    # data over the interconnect than OS-scheduled Volcano
+    assert morsel.ht_imc < volcano.ht_imc
+    # the orthogonality claim: the mechanism holds the morsel engine's
+    # throughput on a smaller core footprint
+    assert governed.throughput >= morsel.throughput * 0.95
+    assert governed.mean_cores < 16.0

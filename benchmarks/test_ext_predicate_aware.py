@@ -1,0 +1,22 @@
+"""Bench: extension — predicate-aware worker sizing (paper §VII).
+
+"Seek the local optimum number of cores with respect to query
+predicates": at submission time the engine bounds each query's worker
+pool by its predicate-shaped footprint, so selective queries stop paying
+for a full machine's worth of partition administration.
+"""
+
+from repro.experiments import ext_predicate_aware
+
+
+def test_ext_predicate_aware(once, record_result):
+    result = once(ext_predicate_aware.run)
+    record_result("ext_predicate_aware", result.table())
+
+    adaptive = result.cells["adaptive"]
+    sized = result.cells["adaptive+sizer"]
+    # the sizer spawns fewer threads and dispatches fewer tasks...
+    assert sized.threads_spawned < adaptive.threads_spawned
+    assert sized.tasks <= adaptive.tasks * 1.02
+    # ...without losing throughput
+    assert sized.throughput >= adaptive.throughput * 0.95

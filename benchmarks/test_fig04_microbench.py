@@ -1,0 +1,21 @@
+"""Bench: Fig 4 — Q6 microbenchmark vs concurrent clients (§II-B1)."""
+
+from repro.experiments import fig04_microbench
+
+
+def test_fig04_microbench(once, record_result):
+    result = once(fig04_microbench.run, users=(1, 4, 16, 64),
+                  repetitions=2)
+    record_result("fig04_microbench", result.table())
+
+    # paper shapes: interconnect traffic grows with concurrency, and the
+    # engine moves more data over the fabric than the hand-coded kernel
+    for variant in ("os/C", "os/monetdb"):
+        assert result.ht_mb_per_s(variant, 64) \
+            > result.ht_mb_per_s(variant, 1) * 0.5
+    assert result.ht_mb_per_s("os/monetdb", 1) \
+        > result.ht_mb_per_s("os/C", 1)
+    # dense/C keeps the fabric quietest
+    for users in (4, 16, 64):
+        assert result.ht_mb_per_s("dense/C", users) \
+            <= result.ht_mb_per_s("sparse/C", users)

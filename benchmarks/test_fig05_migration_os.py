@@ -1,0 +1,15 @@
+"""Bench: Fig 5 — worker migration under the plain OS (§II-B2)."""
+
+from repro.experiments import fig05_migration_os
+
+
+def test_fig05_migration_os(once, record_result):
+    result = once(fig05_migration_os.run)
+    record_result("fig05_migration_os", result.table())
+
+    # paper shape: threads migrate several times and visit several nodes
+    assert result.total_migrations > len(result.timelines) * 0.5
+    nodes = set()
+    for timeline in result.timelines:
+        nodes |= timeline.nodes_visited
+    assert len(nodes) >= 3

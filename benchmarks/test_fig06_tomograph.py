@@ -1,0 +1,15 @@
+"""Bench: Fig 6 — Tomograph of Q6's worker threads (§II-B2)."""
+
+from repro.experiments import fig06_tomograph
+
+
+def test_fig06_tomograph(once, record_result):
+    result = once(fig06_tomograph.run)
+    record_result("fig06_tomograph", result.table())
+
+    # paper shape: 16 workers; the thetasubselect fans out one call per
+    # worker and dominates total time; the final stages are single-call
+    assert result.n_worker_threads == 16
+    assert result.calls_of("algebra.thetasubselect") == 16
+    assert result.calls_of("sql.resultSet") == 1
+    assert result.operators[0].operator == "algebra.thetasubselect"

@@ -1,0 +1,22 @@
+"""Bench: Fig 7 — state transitions and the core staircase (§III)."""
+
+from collections import Counter
+
+from repro.experiments import fig07_state_transitions
+
+
+def test_fig07_state_transitions(once, record_result):
+    result = once(fig07_state_transitions.run, repetitions=10)
+    chains = Counter(result.chains())
+    summary = result.table() + "\n\nchain counts: " + ", ".join(
+        f"{label} x{count}" for label, count in chains.most_common())
+    record_result("fig07_state_transitions", summary)
+
+    # paper shape: all three states appear; allocation climbs from one
+    # core and releases back down; stable dominates the tick mix
+    assert result.states_seen() == {"Idle", "Stable", "Overload"}
+    lo, hi = result.core_range()
+    assert lo == 1 and hi >= 8
+    assert chains["t1-Overload-t5"] >= 3
+    assert chains["t0-Idle-t4"] >= 3
+    assert chains["t2-Stable-t3"] >= chains["t1-Overload-t5"]

@@ -1,0 +1,18 @@
+"""Bench: Fig 13 — scheduling metrics vs concurrency (§V-A1)."""
+
+from repro.experiments import fig13_scheduling
+
+
+def test_fig13_scheduling(once, record_result):
+    result = once(fig13_scheduling.run, users=(1, 4, 16, 64),
+                  repetitions=4)
+    record_result("fig13_scheduling", result.table())
+
+    top = max(result.users)
+    os_cell = result.cell(None, top)
+    adaptive = result.cell("adaptive", top)
+    # paper shapes at high concurrency: adaptive throughput at least
+    # matches the OS; the OS steals more tasks; CPU load is comparable
+    assert adaptive.throughput >= os_cell.throughput * 0.95
+    assert adaptive.stolen_tasks < os_cell.stolen_tasks
+    assert abs(adaptive.cpu_load - os_cell.cpu_load) < 35

@@ -1,0 +1,19 @@
+"""Bench: Fig 14 — memory metrics at high concurrency (§V-A1)."""
+
+from repro.experiments import fig14_memory
+
+
+def test_fig14_memory(once, record_result):
+    result = once(fig14_memory.run, n_clients=32, repetitions=3)
+    record_result("fig14_memory", result.table())
+
+    os_cell = result.cell(None)
+    adaptive = result.cell("adaptive")
+    dense = result.cell("dense")
+    # paper shapes: the OS scheduler moves the most interconnect data;
+    # the controlled modes reduce it; total L3 misses do not explode
+    assert adaptive.ht_traffic < os_cell.ht_traffic
+    assert dense.ht_traffic < os_cell.ht_traffic
+    assert adaptive.l3_misses_total < os_cell.l3_misses_total * 1.25
+    # every socket serves some memory traffic (intermediates spread)
+    assert all(rate > 0 for rate in os_cell.mem_tp_by_socket.values())

@@ -1,0 +1,18 @@
+"""Bench: Fig 15 — L3 misses across selectivities (§V-A2)."""
+
+from repro.experiments import fig15_selectivity
+from repro.workloads.selectivity import SELECTIVITY_LEVELS
+
+
+def test_fig15_selectivity(once, record_result):
+    result = once(fig15_selectivity.run, levels=SELECTIVITY_LEVELS,
+                  n_clients=16)
+    record_result("fig15_selectivity", result.table())
+
+    # paper shapes: misses grow with selectivity under every policy, and
+    # the controlled modes never exceed the OS's misses at 100 %
+    for mode in (None, "dense", "sparse", "adaptive"):
+        assert result.total(mode, 1.0) > result.total(mode, 0.02)
+    os_at_full = result.total(None, 1.0)
+    for mode in ("dense", "sparse", "adaptive"):
+        assert result.total(mode, 1.0) <= os_at_full * 1.05

@@ -1,0 +1,17 @@
+"""Bench: Fig 16 — migration maps across the four modes (§V-A3)."""
+
+from repro.experiments import fig16_migration_modes
+
+
+def test_fig16_migration_modes(once, record_result):
+    result = once(fig16_migration_modes.run, repetitions=2, warmup=4)
+    record_result("fig16_migration_modes", result.table())
+
+    os_cell = result.cell(None)
+    # paper shapes: the OS migrates the most and touches every node;
+    # dense/adaptive confine workers to fewer nodes with fewer moves
+    assert os_cell.nodes_used == 4
+    for mode in ("dense", "sparse", "adaptive"):
+        assert result.cell(mode).migrations < os_cell.migrations
+    assert result.cell("dense").nodes_used <= 3
+    assert result.cell("adaptive").nodes_used <= 3

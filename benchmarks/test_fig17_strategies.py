@@ -1,0 +1,18 @@
+"""Bench: Fig 17 — CPU-load vs HT/IMC transition strategies (§V-B)."""
+
+from repro.experiments import fig17_strategies
+
+
+def test_fig17_strategies(once, record_result):
+    result = once(fig17_strategies.run, repetitions=3, warmup=5)
+    record_result("fig17_strategies", result.table())
+
+    os_cell = result.cell(None)
+    cpu = result.cell("adaptive", "cpu_load")
+    ht = result.cell("adaptive", "ht_imc")
+    # paper shapes: both strategies slash interconnect traffic vs the
+    # OS; the HT/IMC strategy reacts more slowly (response time at or
+    # above the CPU-load strategy's)
+    assert cpu.ht_bytes < os_cell.ht_bytes
+    assert ht.ht_bytes < os_cell.ht_bytes
+    assert ht.response_time >= cpu.response_time * 0.9

@@ -1,0 +1,21 @@
+"""Bench: Fig 18 — stable-phases workload, both engines (§V-C1)."""
+
+from repro.experiments import fig18_stable_phases
+
+
+def test_fig18_stable_phases(once, record_result):
+    result = once(fig18_stable_phases.run, n_clients=16)
+    record_result("fig18_stable_phases", result.table())
+
+    monetdb_os = result.timelines["monetdb/OS"]
+    sqlserver_os = result.timelines["sqlserver/OS"]
+    # paper shapes: OS/MonetDB hammers the loader socket; the NUMA-aware
+    # engine spreads memory throughput across sockets
+    monetdb_share = monetdb_os.socket_share()
+    assert monetdb_share[0] == max(monetdb_share.values())
+    assert monetdb_share[0] > 0.3
+    sql_share = sqlserver_os.socket_share()
+    assert max(sql_share.values()) < 0.4
+    # the adaptive runs complete the same workload
+    for config in ("monetdb/adaptive", "sqlserver/adaptive"):
+        assert result.timelines[config].makespan > 0

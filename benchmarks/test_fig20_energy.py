@@ -1,0 +1,17 @@
+"""Bench: Fig 20 — per-query energy, OS vs adaptive (§V-C3)."""
+
+from repro.experiments import fig20_energy
+
+
+def test_fig20_energy(once, record_result):
+    result = once(fig20_energy.run, n_clients=32, queries_per_client=6)
+    cpu_saving, ht_saving = result.component_savings()
+    summary = (result.table()
+               + f"\n\ncomponent savings: CPU {cpu_saving:.1%}, "
+               f"HT {ht_saving:.1%}")
+    record_result("fig20_energy", summary)
+
+    # paper shapes: the system saves energy overall and the interconnect
+    # component saves a larger fraction than the CPU component
+    assert result.total_saving() > 0.0
+    assert ht_saving > cpu_saving

@@ -1,0 +1,32 @@
+"""Bench: the headline claim over multiple seeds.
+
+The paper's abstract: speedups up to 1.53x (1.29x average) for MonetDB
+under the adaptive mode.  A single mixed-workload run carries sampling
+noise, so the headline is measured over several seeds with an error bar;
+the assertion is on the multi-seed mean.
+"""
+
+from repro.experiments import fig19_mixed_phases
+from repro.experiments.trials import run_trials
+
+
+def test_headline_speedup_over_seeds(once, record_result):
+    def measure():
+        return run_trials(
+            lambda seed: fig19_mixed_phases.run(
+                engine="monetdb", n_clients=32, queries_per_client=4,
+                seed=seed, modes=(None, "adaptive")),
+            extract=lambda r: {
+                "geo_mean_speedup": r.mean_speedup(),
+                "os_makespan_s": r.runs["OS"].makespan,
+                "adaptive_makespan_s": r.runs["adaptive"].makespan,
+            },
+            seeds=(7, 11, 13))
+
+    stats = once(measure)
+    record_result("headline_trials", stats.table())
+
+    # the paper's average speedup is 1.29x; require the multi-seed mean
+    # to clear parity with margin, and the best seed to show a clear win
+    assert stats.mean("geo_mean_speedup") >= 1.05
+    assert stats.minmax("geo_mean_speedup")[1] >= 1.15

@@ -1,0 +1,20 @@
+"""Bench: controller overhead — the token-flow measurements of §V.
+
+The paper: one token flow through the 5x8 model takes 0.017-0.031 s on
+the 2008 Opteron and the controller's CPU share stays below 1 %.  Our
+pipeline pass is host-side Python; the CPU-share bound is the claim that
+must carry over.
+"""
+
+from repro.experiments import overhead
+
+
+def test_overhead_controller(once, record_result):
+    result = once(overhead.run, passes=300)
+    record_result("overhead_controller", result.table())
+
+    for mode in ("dense", "sparse", "adaptive"):
+        # well under one controller interval -> under 1 % CPU share
+        assert result.cpu_share(mode) < 0.01
+    # the adaptive mode pays for its priority-queue refresh
+    assert result.per_pass["adaptive"] >= result.per_pass["dense"] * 0.5

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's mixed-phases workload: all 22 TPC-H queries, both engines.
+
+Every client continuously draws a random query from q1..q22 (the paper's
+§V-C2 protocol).  The script compares the plain OS scheduler against the
+adaptive mode on both simulated engines — the OS-scheduled Volcano engine
+(MonetDB role) and the NUMA-aware partitioned engine (SQL Server role) —
+and prints per-query latencies for the slowest queries plus the headline
+aggregates.
+
+Run:  python examples/elastic_tpch.py [n_clients] [queries_per_client]
+"""
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.experiments import fig19_mixed_phases
+
+
+def main() -> None:
+    n_clients = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    queries_per_client = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    print(__doc__)
+
+    for engine in ("monetdb", "sqlserver"):
+        result = fig19_mixed_phases.run(
+            engine=engine, n_clients=n_clients,
+            queries_per_client=queries_per_client,
+            modes=(None, "adaptive"))
+        os_run = result.runs["OS"]
+        adaptive = result.runs["adaptive"]
+
+        slowest = sorted(os_run.mean_latency,
+                         key=lambda q: -os_run.mean_latency[q])[:8]
+        rows = [[q,
+                 os_run.mean_latency[q],
+                 adaptive.mean_latency.get(q, 0.0),
+                 result.speedup(q),
+                 os_run.ht_imc_ratio.get(q, 0.0),
+                 adaptive.ht_imc_ratio.get(q, 0.0)]
+                for q in slowest]
+        print()
+        print(render_table(
+            ["query", "OS s", "adaptive s", "speedup", "OS HT/IMC",
+             "adp HT/IMC"],
+            rows, title=f"{engine}: slowest queries under the OS"))
+        print(f"  geo-mean per-query speedup : "
+              f"{result.mean_speedup():.2f}x")
+        print(f"  workload makespan          : OS "
+              f"{os_run.makespan:.2f}s vs adaptive "
+              f"{adaptive.makespan:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

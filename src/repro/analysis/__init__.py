@@ -1,0 +1,12 @@
+"""Post-processing helpers: metrics and fixed-width report rendering."""
+
+from .metrics import geometric_mean, percentile, ratio_reduction, speedup
+from .report import render_table
+from .timeline import (render_allocation_staircase, render_core_map,
+                       render_node_map)
+
+__all__ = [
+    "speedup", "ratio_reduction", "geometric_mean", "percentile",
+    "render_table",
+    "render_node_map", "render_core_map", "render_allocation_staircase",
+]

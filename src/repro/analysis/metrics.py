@@ -1,0 +1,51 @@
+"""Derived metrics used throughout the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from ..errors import ReproError
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` — how many times faster the improved run is.
+
+    Zero or negative times are rejected (they indicate a broken run).
+    """
+    if baseline <= 0 or improved <= 0:
+        raise ReproError("speedup needs positive durations")
+    return baseline / improved
+
+
+def ratio_reduction(baseline: float, improved: float) -> float:
+    """How many times smaller the improved ratio is (paper's "N× smaller").
+
+    A zero improved ratio (no remote traffic at all) reports ``inf``.
+    """
+    if baseline < 0 or improved < 0:
+        raise ReproError("ratios cannot be negative")
+    if improved == 0:
+        return math.inf
+    return baseline / improved
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]); 0.0 for empty input."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ReproError("percentile q must be within [0, 1]")
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper uses it for energy savings, §V-C3)."""
+    items = [v for v in values]
+    if not items:
+        raise ReproError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in items):
+        raise ReproError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))

@@ -1,0 +1,57 @@
+"""Fixed-width table rendering for benchmark/experiment output.
+
+The benchmark harnesses print the same rows the paper's tables and figure
+series contain; this module keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned, text left-aligned; floats get adaptive
+    precision.  Returns the table as a string (callers print it).
+    """
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def align(row_cells, source_row):
+        parts = []
+        for i, cell in enumerate(row_cells):
+            if i < len(source_row) and isinstance(source_row[i],
+                                                  (int, float)):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths))
+                 .rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for source, rendered in zip(rows, cells):
+        lines.append(align(rendered, source))
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""ASCII rendering of thread-placement timelines (the Fig 5/16 maps).
+
+The paper's migration figures plot, for every worker thread, which core it
+occupied over time, with colours per NUMA node.  The text equivalent here
+draws one row per thread and one column per time bucket; the glyph is the
+node digit, and a ``.`` marks buckets where the thread was not (yet/any
+longer) placed.  Core-level detail is available through
+``render_core_map``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def _bucketise(placements, t_start: float, t_end: float,
+               width: int) -> list[int | None]:
+    """Latest placement value per time bucket (carry-forward)."""
+    if t_end <= t_start:
+        raise ReproError("timeline needs a positive time span")
+    cells: list[int | None] = [None] * width
+    span = t_end - t_start
+    value: int | None = None
+    events = iter(placements)
+    pending = next(events, None)
+    for bucket in range(width):
+        bucket_end = t_start + span * (bucket + 1) / width
+        while pending is not None and pending[0] <= bucket_end:
+            value = pending[1]
+            pending = next(events, None)
+        cells[bucket] = value
+    return cells
+
+
+def render_node_map(timelines, width: int = 60,
+                    title: str = "") -> str:
+    """Render thread-over-node timelines.
+
+    Parameters
+    ----------
+    timelines:
+        Iterable of objects with ``thread_id`` and ``placements`` —
+        ``(time, core, node)`` tuples — i.e.
+        :class:`repro.experiments.fig05_migration_os.ThreadTimeline`.
+    width:
+        Character columns for the time axis.
+    """
+    timelines = [t for t in timelines if t.placements]
+    if not timelines:
+        return "(no placements recorded)"
+    t_start = min(t.placements[0][0] for t in timelines)
+    t_end = max(t.placements[-1][0] for t in timelines)
+    if t_end <= t_start:
+        t_end = t_start + 1e-6
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"time {t_start * 1e3:.1f} ms "
+                 + "-" * max(width - 24, 1)
+                 + f" {t_end * 1e3:.1f} ms   (digit = NUMA node)")
+    for timeline in timelines:
+        events = [(t, node) for t, _, node in timeline.placements]
+        cells = _bucketise(events, t_start, t_end, width)
+        row = "".join("." if c is None else str(c) for c in cells)
+        lines.append(f"T{timeline.thread_id:<4d} {row}")
+    return "\n".join(lines)
+
+
+def render_core_map(timelines, width: int = 60,
+                    title: str = "") -> str:
+    """Like :func:`render_node_map` but with core ids (hex digits)."""
+    timelines = [t for t in timelines if t.placements]
+    if not timelines:
+        return "(no placements recorded)"
+    t_start = min(t.placements[0][0] for t in timelines)
+    t_end = max(t.placements[-1][0] for t in timelines)
+    if t_end <= t_start:
+        t_end = t_start + 1e-6
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"time {t_start * 1e3:.1f} ms "
+                 + "-" * max(width - 24, 1)
+                 + f" {t_end * 1e3:.1f} ms   (hex digit = core)")
+    for timeline in timelines:
+        events = [(t, core) for t, core, _ in timeline.placements]
+        cells = _bucketise(events, t_start, t_end, width)
+        row = "".join("." if c is None else format(c, "x")
+                      for c in cells)
+        lines.append(f"T{timeline.thread_id:<4d} {row}")
+    return "\n".join(lines)
+
+
+def render_allocation_staircase(transitions, width: int = 60,
+                                n_total: int = 16,
+                                title: str = "") -> str:
+    """Render the Fig 7 allocated-cores staircase from transition tuples
+    ``(time, label, metric, cores)``."""
+    if not transitions:
+        return "(no transitions recorded)"
+    lines = []
+    if title:
+        lines.append(title)
+    step = max(1, len(transitions) // width)
+    for t, label, metric, cores in transitions[::step]:
+        bar = "#" * cores + "." * (n_total - cores)
+        lines.append(f"{t:8.3f}s |{bar}| {cores:2d}  u={metric:5.1f}  "
+                     f"{label}")
+    return "\n".join(lines)

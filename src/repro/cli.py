@@ -1,0 +1,163 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig13 --users 4,16 --repetitions 2
+    python -m repro run fig19 --engine sqlserver --n-clients 16
+    python -m repro compare --workload q6 --clients 16
+
+``run`` executes one figure/extension harness and prints its table;
+``compare`` is a quick four-way mode comparison on one query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from .analysis.report import render_table
+from .db.clients import repeat_stream
+from .errors import ReproError
+from .experiments import (ablations, ext_mixed_oltp, ext_morsel,
+                          ext_predicate_aware, ext_sla,
+                          fig04_microbench, fig05_migration_os,
+                          fig06_tomograph, fig07_state_transitions,
+                          fig13_scheduling, fig14_memory,
+                          fig15_selectivity, fig16_migration_modes,
+                          fig17_strategies, fig18_stable_phases,
+                          fig19_mixed_phases, fig20_energy, overhead)
+from .experiments.common import build_system
+
+#: name -> (runner, description).  Every runner returns an object with
+#: ``table()``.
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig4": (fig04_microbench.run,
+             "Q6 microbenchmark vs concurrent clients"),
+    "fig5": (fig05_migration_os.run, "OS thread migration map"),
+    "fig6": (fig06_tomograph.run, "Tomograph of Q6's workers"),
+    "fig7": (fig07_state_transitions.run,
+             "state transitions + core staircase"),
+    "fig13": (fig13_scheduling.run, "scheduling metrics vs users"),
+    "fig14": (fig14_memory.run, "memory metrics at high concurrency"),
+    "fig15": (fig15_selectivity.run, "L3 misses vs selectivity"),
+    "fig16": (fig16_migration_modes.run, "migration maps per mode"),
+    "fig17": (fig17_strategies.run, "CPU-load vs HT/IMC strategies"),
+    "fig18": (fig18_stable_phases.run, "stable-phases workload"),
+    "fig19": (fig19_mixed_phases.run, "mixed-phases per-query results"),
+    "fig20": (fig20_energy.run, "per-query energy accounting"),
+    "overhead": (overhead.run, "controller token-flow overhead"),
+    "sla": (ext_sla.run, "extension: traffic-SLA governor"),
+    "oltp": (ext_mixed_oltp.run, "extension: mixed OLAP/OLTP"),
+    "predicate-aware": (ext_predicate_aware.run,
+                        "extension: predicate-aware worker sizing"),
+    "morsel": (ext_morsel.run,
+               "extension: morsel-driven engine x the mechanism"),
+    "ablation-thresholds": (ablations.thresholds,
+                            "ablation: threshold sweep"),
+    "ablation-strategies": (ablations.strategies,
+                            "ablation: strategy comparison"),
+    "ablation-parallelism": (ablations.elastic_parallelism,
+                             "ablation: elastic parallelism"),
+    "ablation-autonuma": (ablations.autonuma,
+                          "ablation: AutoNUMA page migration"),
+}
+
+#: CLI option -> runner kwarg, with a parser for the string value
+_OPTION_SPECS = {
+    "users": ("users", lambda s: tuple(int(v) for v in s.split(","))),
+    "repetitions": ("repetitions", int),
+    "n_clients": ("n_clients", int),
+    "queries_per_client": ("queries_per_client", int),
+    "engine": ("engine", str),
+    "scale": ("scale", float),
+    "sim_scale": ("sim_scale", float),
+    "seed": ("seed", int),
+    "budget_fraction": ("budget_fraction", float),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Elastic multi-core allocation for database "
+                     "systems (ICDE 2018) - experiment runner"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    for option in _OPTION_SPECS:
+        run.add_argument(f"--{option.replace('_', '-')}", dest=option,
+                         default=None)
+
+    compare = sub.add_parser(
+        "compare", help="quick four-way mode comparison on one query")
+    compare.add_argument("--workload", default="q6",
+                         help="registered query name (default q6)")
+    compare.add_argument("--clients", type=int, default=16)
+    compare.add_argument("--repetitions", type=int, default=3)
+    compare.add_argument("--engine", default="monetdb",
+                         choices=("monetdb", "sqlserver", "morsel"))
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    runner, _ = EXPERIMENTS[args.experiment]
+    kwargs = {}
+    for option, (kwarg, parse) in _OPTION_SPECS.items():
+        raw = getattr(args, option, None)
+        if raw is None:
+            continue
+        if kwarg not in runner.__code__.co_varnames:
+            raise ReproError(
+                f"{args.experiment} does not accept --"
+                f"{option.replace('_', '-')}")
+        kwargs[kwarg] = parse(raw)
+    result = runner(**kwargs)
+    return result.table()
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    rows = []
+    for mode in (None, "dense", "sparse", "adaptive"):
+        sut = build_system(engine=args.engine, mode=mode)
+        sut.mark()
+        workload = sut.run_clients(
+            args.clients, repeat_stream(args.workload, args.repetitions))
+        cores = (sut.controller.lonc.report().mean_cores
+                 if sut.controller else float(sut.os.topology.n_cores))
+        rows.append([sut.label, workload.throughput,
+                     workload.mean_latency(), sut.ht_imc_ratio(),
+                     sut.delta("migrations"), cores])
+    return render_table(
+        ["config", "queries/s", "mean lat s", "HT/IMC", "migrations",
+         "mean cores"],
+        rows,
+        title=(f"{args.workload}, {args.clients} clients on "
+               f"{args.engine}"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            rows = [[name, description]
+                    for name, (_, description) in sorted(
+                        EXPERIMENTS.items())]
+            print(render_table(["experiment", "description"], rows))
+        elif args.command == "run":
+            print(_run_experiment(args))
+        else:
+            print(_run_compare(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""The elastic controller: the rule-condition-action pipeline (paper §III).
+
+One instance supports all DBMS clients (as the paper notes in §V).  Every
+``interval`` seconds of simulated time it:
+
+1. **rule** — samples the monitor (mpstat/likwid stand-in) and extracts the
+   strategy's metric;
+2. **condition** — deposits the metric token into the PrT model's ``Checks``
+   place and fires transitions until the token returns;
+3. **action** — if ``t5`` fired, allocates one core on the node the
+   allocation mode names; if ``t4`` fired, releases one; the cpuset edit is
+   what the OS scheduler sees.
+
+The controller keeps ticking while database threads are live and parks
+itself otherwise (restart with :meth:`kick` when a new workload begins, or
+construct with ``keepalive=True`` to tick forever until :meth:`stop`).
+"""
+
+from __future__ import annotations
+
+from ..config import ControllerConfig
+from ..errors import AllocationError
+from ..opsys.system import OperatingSystem
+from ..sim.tracing import ControllerTick, CoreAllocation, TransitionRecord
+from .lonc import LoncTracker
+from .model import PerformanceModel, TransitionChain
+from .modes import AdaptivePriorityMode, AllocationMode
+from .monitor import Monitor
+from .strategies import TransitionStrategy
+
+
+class ElasticController:
+    """The mechanism of the paper, wired to one simulated machine."""
+
+    def __init__(self, os: OperatingSystem, mode: AllocationMode,
+                 strategy: TransitionStrategy,
+                 config: ControllerConfig | None = None,
+                 keepalive: bool = False):
+        self.os = os
+        self.mode = mode
+        self.strategy = strategy
+        base = config or ControllerConfig()
+        # thresholds live on the strategy; fold them into the config copy
+        self.config = ControllerConfig(
+            interval=base.interval,
+            th_min=strategy.th_min, th_max=strategy.th_max,
+            initial_cores=base.initial_cores, min_cores=base.min_cores)
+        self.keepalive = keepalive
+        self.monitor = Monitor(os)
+        self.model = PerformanceModel(
+            th_min=strategy.th_min, th_max=strategy.th_max,
+            n_total=os.topology.n_cores,
+            n_min=self.config.min_cores,
+            initial_cores=self.config.initial_cores)
+        self.lonc = LoncTracker(strategy.th_min, strategy.th_max)
+        self.ticks = 0
+        self._started = False
+        self._stopped = False
+        self._tick_scheduled = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Apply the initial mask and schedule the first tick."""
+        if self._started:
+            raise AllocationError("controller already started")
+        self._started = True
+        self._refresh_priority()
+        initial = self.mode.initial_mask(self.config.initial_cores)
+        self.os.cpuset.set_mask(initial)
+        for core in initial:
+            self._trace_mask_change(core, allocated=True)
+        self.monitor.prime()
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        """Stop ticking permanently."""
+        self._stopped = True
+
+    def kick(self) -> None:
+        """Re-arm the tick loop after the controller parked itself."""
+        if self._started and not self._stopped:
+            self._schedule_tick()
+
+    @property
+    def n_allocated(self) -> int:
+        """Cores currently handed to the OS."""
+        return len(self.os.cpuset)
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+
+    def _schedule_tick(self) -> None:
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            self.os.sim.schedule(self.config.interval, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self._stopped:
+            return
+        chain = self.run_pipeline_once()
+        self.os.tracer.emit(ControllerTick(
+            time=self.os.now, metric=chain.metric,
+            state=chain.state, n_allocated=self.n_allocated))
+        if self.keepalive or self.os.scheduler.live_threads() > 0:
+            self._schedule_tick()
+
+    def run_pipeline_once(self) -> TransitionChain:
+        """One full rule-condition-action pass (public for tests/benches)."""
+        sample = self.monitor.sample()
+        metric = self.strategy.metric(sample)
+        self._refresh_priority()
+        chain = self.model.run_cycle(metric)
+        self.lonc.record(metric, self.n_allocated)
+        if chain.action == "allocate":
+            self._allocate_one()
+        elif chain.action == "release":
+            self._release_one()
+        self.ticks += 1
+        self.os.tracer.emit(TransitionRecord(
+            time=self.os.now, label=chain.label, state=chain.state,
+            value=metric, cores_after=self.n_allocated))
+        return chain
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+
+    def _refresh_priority(self) -> None:
+        if isinstance(self.mode, AdaptivePriorityMode):
+            self.mode.queue.update(
+                self.os.scheduler.threads,
+                fallback=self.os.machine.memory.placement_histogram())
+
+    def _allocate_one(self) -> None:
+        allocated = self.os.cpuset.allowed()
+        core = self.mode.next_allocation(allocated)
+        self.os.cpuset.allow(core)
+        self._sync_model()
+        self._trace_mask_change(core, allocated=True)
+
+    def _release_one(self) -> None:
+        allocated = self.os.cpuset.allowed()
+        core = self.mode.next_release(allocated)
+        self.os.cpuset.disallow(core)
+        self._sync_model()
+        self._trace_mask_change(core, allocated=False)
+
+    def _sync_model(self) -> None:
+        # the PrT net's Provision token and the cpuset must agree
+        if self.model.nalloc != len(self.os.cpuset):
+            self.model.sync_nalloc(len(self.os.cpuset))
+
+    def _trace_mask_change(self, core: int, allocated: bool) -> None:
+        self.os.tracer.emit(CoreAllocation(
+            time=self.os.now, core_id=core,
+            node_id=self.os.topology.node_of_core(core),
+            allocated=allocated, n_allocated=self.n_allocated))

@@ -1,0 +1,54 @@
+"""Predicate-aware worker sizing (paper §VII future work).
+
+The paper's conclusion proposes improving the model "to seek for the
+local optimum number of cores with respect to query predicates".  The
+controller's feedback loop reacts *after* load materialises; this module
+adds the feed-forward half: at submission time the engine already holds
+the query's profile — input footprint and compute, both shaped by the
+query's predicates — so it can size the worker pool to the work instead
+of blindly spawning one worker per visible core.
+
+The sizer is deliberately simple and explainable:
+
+* every worker should have at least ``bytes_per_worker`` of input to
+  stream (below that, the per-partition administration overhead exceeds
+  the parallelism gain — the quantity the cost model's
+  ``partition_overhead_cycles`` describes), and
+* at least ``cycles_per_worker`` of compute to retire.
+
+The suggestion is clamped to the mechanism's visible mask, so the
+elastic controller remains the outer authority.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+
+
+class PredicateAwareSizer:
+    """Suggest a worker count from a query profile."""
+
+    def __init__(self, bytes_per_worker: float = 8e6,
+                 cycles_per_worker: float = 2e7):
+        if bytes_per_worker <= 0 or cycles_per_worker <= 0:
+            raise ConfigError("sizer targets must be positive")
+        self.bytes_per_worker = bytes_per_worker
+        self.cycles_per_worker = cycles_per_worker
+
+    def workers_for(self, profile, visible: int) -> int:
+        """Workers for ``profile`` given ``visible`` cores.
+
+        The demand is the larger of the footprint-driven and the
+        compute-driven estimates; tiny queries get one worker, big scans
+        get the full mask.
+        """
+        if visible < 1:
+            raise ConfigError("at least one core must be visible")
+        by_bytes = math.ceil(profile.input_sim_bytes
+                             / self.bytes_per_worker)
+        by_cycles = math.ceil(profile.total_cycles
+                              / self.cycles_per_worker)
+        demand = max(by_bytes, by_cycles, 1)
+        return min(demand, visible)

@@ -1,0 +1,195 @@
+"""The paper's performance-state PrT model (§III-B, Figs 8-11).
+
+Places
+    ``Checks`` (current resource-usage token ``u``), ``Provision`` (the
+    allocated-core count ``na``), and the three performance states
+    ``Idle``, ``Stable``, ``Overload``.
+
+Transitions
+    ========  ===========================  ==========================
+    name      guard                        effect
+    ========  ===========================  ==========================
+    ``t0``    ``u <= thmin``               Checks+Provision -> Idle
+    ``t1``    ``u >= thmax``               Checks+Provision -> Overload
+    ``t2``    ``thmin < u < thmax``        Checks -> Stable
+    ``t3``    (none)                       Stable -> Checks
+    ``t4``    ``na > nmin``                Idle -> Provision(na-1)+Checks
+    ``t7``    ``na == nmin``               Idle -> Provision(na)+Checks
+    ``t5``    ``na < ntotal``              Overload -> Provision(na+1)+Checks
+    ``t6``    ``na == ntotal``             Overload -> Provision(na)+Checks
+    ========  ===========================  ==========================
+
+One monitoring tick = one :meth:`PerformanceModel.run_cycle`: deposit the
+fresh ``u`` token into ``Checks``, fire until the token returns.  The fired
+pair is reported as the paper's Fig 7 labels (``t1-Overload-t5`` ...), and
+``t5``/``t4`` carry the allocate/release action the controller executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PetriNetError
+from .petrinet import Arc, OutputArc, PetriNet, Transition
+
+#: performance-state place reached by each entry transition
+_STATE_OF = {"t0": "Idle", "t1": "Overload", "t2": "Stable"}
+
+#: action carried by each exit transition
+_ACTION_OF = {"t4": "release", "t5": "allocate"}
+
+
+@dataclass(frozen=True)
+class TransitionChain:
+    """One fired entry/exit pair, e.g. ``t1-Overload-t5``."""
+
+    entry: str
+    state: str
+    exit: str
+    metric: float
+    nalloc_after: int
+
+    @property
+    def label(self) -> str:
+        """The Fig 7 display label."""
+        return f"{self.entry}-{self.state}-{self.exit}"
+
+    @property
+    def action(self) -> str | None:
+        """``"allocate"``, ``"release"`` or ``None``."""
+        return _ACTION_OF.get(self.exit)
+
+
+class PerformanceModel:
+    """The concrete 5-place / 8-transition net, parameterised by thresholds.
+
+    Parameters
+    ----------
+    th_min / th_max:
+        The strategy's thresholds (CPU-load percentages or HT/IMC ratios).
+    n_total:
+        Hardware core count (``ntotal``); bounds ``t5``.
+    n_min:
+        Lower bound enforced by ``t7`` (paper: 1).
+    initial_cores:
+        Initial ``Provision`` marking (paper: 1).
+    """
+
+    def __init__(self, th_min: float, th_max: float, n_total: int,
+                 n_min: int = 1, initial_cores: int = 1):
+        if th_min >= th_max:
+            raise PetriNetError("th_min must be below th_max")
+        if not 1 <= n_min <= initial_cores <= n_total:
+            raise PetriNetError(
+                "need 1 <= n_min <= initial_cores <= n_total")
+        self.th_min = th_min
+        self.th_max = th_max
+        self.n_total = n_total
+        self.n_min = n_min
+        self.net = self._build(initial_cores)
+        self.chains: list[TransitionChain] = []
+
+    # ------------------------------------------------------------------
+
+    def _build(self, initial_cores: int) -> PetriNet:
+        net = PetriNet()
+        for place in ("Checks", "Idle", "Stable", "Overload", "Provision"):
+            net.add_place(place)
+        th_min, th_max = self.th_min, self.th_max
+        n_total, n_min = self.n_total, self.n_min
+
+        # entry transitions: classify the fresh u token
+        net.add_transition(Transition(
+            "t0", guard=lambda b: b["u"] <= th_min,
+            guard_text=f"u <= {th_min}",
+            inputs=[Arc("Checks", ("u",), "u"),
+                    Arc("Provision", ("na",), "na")],
+            outputs=[OutputArc("Idle", lambda b: (b["u"], b["na"]), "na")]))
+        net.add_transition(Transition(
+            "t1", guard=lambda b: b["u"] >= th_max,
+            guard_text=f"u >= {th_max}",
+            inputs=[Arc("Checks", ("u",), "u"),
+                    Arc("Provision", ("na",), "na")],
+            outputs=[OutputArc("Overload",
+                               lambda b: (b["u"], b["na"]), "na")]))
+        net.add_transition(Transition(
+            "t2", guard=lambda b: th_min < b["u"] < th_max,
+            guard_text=f"{th_min} < u < {th_max}",
+            inputs=[Arc("Checks", ("u",), "u")],
+            outputs=[OutputArc("Stable", lambda b: (b["u"],), "u")]))
+
+        # exit transitions: act and return the token to Checks
+        net.add_transition(Transition(
+            "t4", guard=lambda b: b["na"] > n_min,
+            guard_text=f"nalloc > {n_min}",
+            inputs=[Arc("Idle", ("u", "na"), "na")],
+            outputs=[OutputArc("Provision", lambda b: (b["na"] - 1,), "na"),
+                     OutputArc("Checks", lambda b: (b["u"],), "u")]))
+        net.add_transition(Transition(
+            "t7", guard=lambda b: b["na"] == n_min,
+            guard_text=f"nalloc == {n_min}",
+            inputs=[Arc("Idle", ("u", "na"), "na")],
+            outputs=[OutputArc("Provision", lambda b: (b["na"],), "na"),
+                     OutputArc("Checks", lambda b: (b["u"],), "u")]))
+        net.add_transition(Transition(
+            "t5", guard=lambda b: b["na"] < n_total,
+            guard_text=f"nalloc < {n_total}",
+            inputs=[Arc("Overload", ("u", "na"), "na")],
+            outputs=[OutputArc("Provision", lambda b: (b["na"] + 1,), "na"),
+                     OutputArc("Checks", lambda b: (b["u"],), "u")]))
+        net.add_transition(Transition(
+            "t6", guard=lambda b: b["na"] == n_total,
+            guard_text=f"nalloc == {n_total}",
+            inputs=[Arc("Overload", ("u", "na"), "na")],
+            outputs=[OutputArc("Provision", lambda b: (b["na"],), "na"),
+                     OutputArc("Checks", lambda b: (b["u"],), "u")]))
+        net.add_transition(Transition(
+            "t3", inputs=[Arc("Stable", ("u",), "u")],
+            outputs=[OutputArc("Checks", lambda b: (b["u"],), "u")]))
+
+        net.set_token("Provision", (initial_cores,))
+        return net
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nalloc(self) -> int:
+        """Current allocated-core count held by ``Provision``."""
+        token = self.net.place("Provision").peek()
+        if token is None:
+            raise PetriNetError("Provision lost its token")
+        return int(token[0])
+
+    def state_of(self, metric: float) -> str:
+        """Which performance state a metric value classifies into."""
+        if metric <= self.th_min:
+            return "Idle"
+        if metric >= self.th_max:
+            return "Overload"
+        return "Stable"
+
+    def run_cycle(self, metric: float) -> TransitionChain:
+        """One monitoring tick: deposit ``metric``, fire to completion."""
+        self.net.set_token("Checks", (metric,))
+        fired: list[str] = []
+        while not fired or len(self.net.place("Checks")) == 0:
+            name = self.net.step()
+            if name is None:
+                raise PetriNetError(
+                    f"model deadlocked after firing {fired}")
+            fired.append(name)
+        if len(fired) != 2:
+            raise PetriNetError(f"unexpected firing chain {fired}")
+        entry, exit_ = fired
+        chain = TransitionChain(
+            entry=entry, state=_STATE_OF[entry], exit=exit_,
+            metric=metric, nalloc_after=self.nalloc)
+        self.chains.append(chain)
+        return chain
+
+    def sync_nalloc(self, nalloc: int) -> None:
+        """Force the ``Provision`` marking (when the controller could not
+        apply an action, e.g. no free core on the preferred node)."""
+        if not self.n_min <= nalloc <= self.n_total:
+            raise PetriNetError(f"nalloc {nalloc} out of range")
+        self.net.set_token("Provision", (nalloc,))

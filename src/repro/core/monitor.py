@@ -1,0 +1,81 @@
+"""The monitoring half of the rule-condition-action pipeline.
+
+Plays the role of the paper's mpstat/likwid loop: every controller tick it
+produces a :class:`MonitorSample` with the window's CPU-load picture and the
+counter deltas the strategies need (HT bytes, IMC bytes, L3 misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.counters import CounterSnapshot
+from ..opsys.loadstats import LoadSample
+from ..opsys.system import OperatingSystem
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One monitoring window's observations."""
+
+    time: float
+    window: float
+    load: LoadSample
+    ht_bytes: float
+    imc_bytes: float
+    l3_misses: float
+    runnable_threads: int = 0
+    n_allocated: int = 0
+
+    @property
+    def queue_pressure(self) -> bool:
+        """More runnable threads than allocated cores (demand queued)."""
+        return self.runnable_threads > self.n_allocated
+
+    @property
+    def cpu_load(self) -> float:
+        """Average load of the allocated cores (the paper's ``u``), %."""
+        return self.load.average_allocated
+
+    @property
+    def ht_imc_ratio(self) -> float:
+        """Interconnect bytes over memory-controller bytes this window.
+
+        The paper's NUMA-friendliness signal (§V-B): low means data is
+        served locally, high means it travels between nodes first.
+        """
+        if self.imc_bytes <= 0:
+            return 0.0
+        return self.ht_bytes / self.imc_bytes
+
+
+class Monitor:
+    """Stateful sampler; one per controller instance."""
+
+    def __init__(self, os: OperatingSystem):
+        self.os = os
+        self._previous: CounterSnapshot | None = None
+
+    def prime(self) -> None:
+        """Take the initial snapshots without producing a sample."""
+        self.os.load_sampler.prime(self.os.now)
+        self._previous = self.os.counters.snapshot(self.os.now)
+
+    def sample(self) -> MonitorSample:
+        """Observe the window since the previous call."""
+        now = self.os.now
+        load = self.os.load_sampler.sample(now)
+        current = self.os.counters.snapshot(now)
+        previous = self._previous
+        self._previous = current
+        if previous is None:
+            ht = imc = l3 = 0.0
+        else:
+            ht = current.delta_total(previous, "ht_tx_bytes")
+            imc = current.delta_total(previous, "imc_bytes")
+            l3 = current.delta_total(previous, "l3_miss")
+        return MonitorSample(
+            time=now, window=load.window, load=load,
+            ht_bytes=ht, imc_bytes=imc, l3_misses=l3,
+            runnable_threads=self.os.scheduler.runnable_threads(),
+            n_allocated=len(self.os.cpuset))

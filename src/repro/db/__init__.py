@@ -1,0 +1,42 @@
+"""Columnar database substrate: storage, operators, plans, engines.
+
+Two engines are provided, mirroring the paper's two systems:
+
+* :class:`~repro.db.engine.MonetDBLike` — Volcano-style horizontal
+  parallelism, one worker per *visible* core per operator, thread placement
+  left entirely to the OS, base data first-touched by a single loader;
+* :class:`~repro.db.numa_aware.NumaAwareEngine` — the SQL Server stand-in:
+  base data partitioned round-robin across nodes, workers pinned to the node
+  owning their partition.
+
+Queries are logical operator trees (:mod:`repro.db.operators`) that are
+**really executed** on numpy data for correctness and for measuring true
+intermediate sizes, then **compiled into staged work items**
+(:mod:`repro.db.cost`) that run on the simulated machine.
+"""
+
+from .bat import BAT
+from .catalog import Catalog, Table
+from .clients import ClientPool, WorkloadResult
+from .engine import DatabaseEngine, MonetDBLike
+from .expressions import (And, Between, Case, Col, Const, InList, Not, Or,
+                          add, div, eq, ge, gt, le, lt, mul, ne, sub)
+from .morsel import MorselEngine, MorselQueryExecution
+from .numa_aware import NumaAwareEngine
+from .operators import (Aggregate, Distinct, Filter, Join, Limit, OrderBy,
+                        Project, Scan)
+from .plan import QueryProfile, StageProfile
+from .volcano import QueryExecution
+
+__all__ = [
+    "BAT", "Table", "Catalog",
+    "Col", "Const", "Case", "And", "Or", "Not", "Between", "InList",
+    "eq", "ne", "lt", "le", "gt", "ge", "add", "sub", "mul", "div",
+    "Scan", "Filter", "Project", "Join", "Aggregate", "Distinct",
+    "OrderBy", "Limit",
+    "QueryProfile", "StageProfile",
+    "QueryExecution",
+    "DatabaseEngine", "MonetDBLike", "NumaAwareEngine",
+    "MorselEngine", "MorselQueryExecution",
+    "ClientPool", "WorkloadResult",
+]

@@ -1,0 +1,205 @@
+"""Cost model and the compiler from query profiles to work items.
+
+The :class:`CostModel` holds cycles-per-byte constants for each operator
+class; they fold the private L1/L2 behaviour of the real machine into the
+compute cost (the shared L3 is simulated explicitly).  Values were tuned so
+that execution stays memory-sensitive — the balance between per-page compute
+and per-page DRAM/interconnect time is what lets the paper's NUMA effects
+(remote-access stalls, interconnect saturation under high concurrency)
+surface; absolute latencies are smaller than the 2008-era testbed's and
+EXPERIMENTS.md compares shapes, not absolutes.
+
+:func:`compile_profile` instantiates a worker-count-independent
+:class:`~repro.db.plan.QueryProfile` for a concrete number of workers:
+it allocates simulated pages for every intermediate and splits each stage
+into per-worker :class:`ItemSpec` partitions, wiring consumer stages to the
+pages their producers wrote (that identity is what makes intermediate
+locality — and the cost of losing it — visible to the simulator).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from ..hardware.memory import MemorySystem
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycles-per-byte constants per operator class."""
+
+    select_per_byte: float = 4.0
+    project_per_byte: float = 2.5
+    join_build_per_byte: float = 7.0
+    join_probe_per_byte: float = 6.0
+    agg_per_byte: float = 5.0
+    agg_final_per_byte: float = 3.0
+    sort_per_byte_log: float = 1.0
+    result_per_byte: float = 1.0
+    hash_table_factor: float = 1.5
+    min_stage_cycles: float = 20_000.0
+    #: fixed cycles per operator partition: the engine-side administration
+    #: of one MAL fragment (candidate lists, BAT headers, dataflow
+    #: bookkeeping).  This is the real cost of over-parallelisation the
+    #: mechanism trims when it exposes fewer cores (queries then spawn
+    #: fewer, fatter partitions).
+    partition_overhead_cycles: float = 300_000.0
+
+    def select_cycles(self, input_bytes: float) -> float:
+        """Compute cost of a selection stage."""
+        return max(input_bytes * self.select_per_byte,
+                   self.min_stage_cycles)
+
+    def project_cycles(self, input_bytes: float) -> float:
+        """Compute cost of a projection stage."""
+        return max(input_bytes * self.project_per_byte,
+                   self.min_stage_cycles)
+
+    def join_build_cycles(self, build_bytes: float) -> float:
+        """Compute cost of hashing the build side."""
+        return max(build_bytes * self.join_build_per_byte,
+                   self.min_stage_cycles)
+
+    def join_probe_cycles(self, probe_bytes: float,
+                          hash_bytes: float) -> float:
+        """Compute cost of probing (dominated by the probe stream)."""
+        return max(probe_bytes * self.join_probe_per_byte
+                   + 0.2 * hash_bytes, self.min_stage_cycles)
+
+    def agg_cycles(self, input_bytes: float) -> float:
+        """Compute cost of partial aggregation."""
+        return max(input_bytes * self.agg_per_byte, self.min_stage_cycles)
+
+    def agg_final_cycles(self, output_bytes: float) -> float:
+        """Compute cost of the serial merge of partials."""
+        return max(output_bytes * self.agg_final_per_byte,
+                   self.min_stage_cycles)
+
+    def sort_cycles(self, input_bytes: float, rows: int) -> float:
+        """Compute cost of a partial sort (n log n)."""
+        return max(input_bytes * self.sort_per_byte_log
+                   * math.log2(max(rows, 2)), self.min_stage_cycles)
+
+    def result_cycles(self, result_bytes: float) -> float:
+        """Compute cost of shipping the result set."""
+        return max(result_bytes * self.result_per_byte,
+                   self.min_stage_cycles)
+
+    def hash_table_bytes(self, build_bytes: float) -> float:
+        """Simulated size of a hash table over ``build_bytes`` of input."""
+        return build_bytes * self.hash_table_factor
+
+    def index_lookup_cycles(self) -> float:
+        """Compute cost of one B-tree descent plus row fetch."""
+        return self.min_stage_cycles
+
+
+@dataclass
+class ItemSpec:
+    """One worker partition of one stage, ready to become a WorkItem."""
+
+    label: str
+    reads: list[int] = field(default_factory=list)
+    writes: list[int] = field(default_factory=list)
+    cycles: float = 0.0
+
+
+@dataclass
+class CompiledQuery:
+    """Stage-ordered item specs plus the intermediate pages to free."""
+
+    name: str
+    stage_items: list[list[ItemSpec]]
+    intermediate_pages: list[int]
+
+    @property
+    def n_stages(self) -> int:
+        """Number of dataflow stages (barriers sit between them)."""
+        return len(self.stage_items)
+
+
+def _slice_range(pages: range, part: int, n_parts: int) -> list[int]:
+    """Contiguous partition ``part`` of ``n_parts`` over a page range."""
+    n = len(pages)
+    lo = (n * part) // n_parts
+    hi = (n * (part + 1)) // n_parts
+    return list(pages)[lo:hi]
+
+
+def compile_profile(profile, catalog, n_workers: int,
+                    memory: MemorySystem,
+                    cost: CostModel | None = None,
+                    stage_partitions=None) -> CompiledQuery:
+    """Instantiate a :class:`QueryProfile` for ``n_workers`` workers.
+
+    Intermediate pages are freshly allocated (per execution, so concurrent
+    clients do not share intermediates — only base pages are shared).
+
+    ``stage_partitions`` optionally overrides how many items a parallel
+    stage splits into (``callable(stage) -> int``); the Volcano engines
+    use one item per worker, the morsel-driven engine many small morsels
+    per stage.
+    """
+    if n_workers < 1:
+        raise PlanError("need at least one worker")
+    cost = cost or CostModel()
+    page_bytes = memory.page_bytes
+    stage_outputs: list[range] = []
+    stage_items: list[list[ItemSpec]] = []
+    all_intermediate: list[int] = []
+
+    for stage in profile.stages:
+        if not stage.parallel:
+            workers = 1
+        elif stage_partitions is not None:
+            workers = max(int(stage_partitions(stage)), 1)
+        else:
+            workers = n_workers
+        out_bytes = stage.output_bytes * (workers if stage.output_per_worker
+                                          else 1)
+        n_out_pages = math.ceil(out_bytes / page_bytes) if out_bytes > 0 \
+            else 0
+        out_pages = memory.allocate(n_out_pages)
+        stage_outputs.append(out_pages)
+        all_intermediate.extend(out_pages)
+
+        shared_pages: list[int] = []
+        for producer in stage.shared_consumes:
+            shared_pages.extend(stage_outputs[producer])
+
+        point_pages: list[int] = []
+        for table_name, column, fraction, n_pages in stage.point_reads:
+            pages = catalog.table(table_name).bat(column).pages
+            if len(pages):
+                start = min(int(fraction * len(pages)),
+                            len(pages) - 1)
+                stop = min(start + n_pages, len(pages))
+                point_pages.extend(list(pages)[start:stop])
+
+        items = []
+        for part in range(workers):
+            reads: list[int] = list(point_pages)
+            for table_name, column in stage.base_reads:
+                bat = catalog.table(table_name).bat(column)
+                reads.extend(bat.page_slice(part, workers))
+            for producer in stage.consumes:
+                reads.extend(_slice_range(stage_outputs[producer],
+                                          part, workers))
+            reads.extend(shared_pages)
+            writes = _slice_range(out_pages, part, workers)
+            items.append(ItemSpec(
+                label=stage.label,
+                reads=reads,
+                writes=writes,
+                cycles=(stage.cycles / workers
+                        + cost.partition_overhead_cycles),
+            ))
+        stage_items.append(items)
+
+    return CompiledQuery(
+        name=profile.name,
+        stage_items=stage_items,
+        intermediate_pages=all_intermediate,
+    )

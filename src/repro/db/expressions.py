@@ -1,0 +1,236 @@
+"""Vectorised scalar expressions over columnar data.
+
+Expressions evaluate against an *environment* — a ``dict`` mapping column
+names to equal-length numpy arrays — and return a numpy array (or scalar
+broadcastable against it).  They are used for filter predicates, projection
+lists and aggregate inputs in the TPC-H plan builders.
+
+The tree also self-reports which columns it reads
+(:meth:`Expression.columns`), which the cost compiler uses to derive the
+page footprint of scan stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PlanError
+
+
+class Expression:
+    """Base class; subclasses implement :meth:`evaluate` and `columns`."""
+
+    def evaluate(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        """Compute the expression over the environment."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns this expression reads."""
+        raise NotImplementedError
+
+    # operator sugar --------------------------------------------------
+    def __add__(self, other): return BinOp("+", self, _wrap(other))
+    def __sub__(self, other): return BinOp("-", self, _wrap(other))
+    def __mul__(self, other): return BinOp("*", self, _wrap(other))
+    def __truediv__(self, other): return BinOp("/", self, _wrap(other))
+    def __radd__(self, other): return BinOp("+", _wrap(other), self)
+    def __rsub__(self, other): return BinOp("-", _wrap(other), self)
+    def __rmul__(self, other): return BinOp("*", _wrap(other), self)
+    def __rtruediv__(self, other): return BinOp("/", _wrap(other), self)
+
+
+def _wrap(value) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Const(value)
+
+
+class Col(Expression):
+    """A column reference."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env):
+        if self.name not in env:
+            raise PlanError(f"unknown column {self.name!r}")
+        return env[self.name]
+
+    def columns(self):
+        return {self.name}
+
+    def __repr__(self):
+        return f"Col({self.name!r})"
+
+
+class Const(Expression):
+    """A literal constant."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, env):
+        return self.value
+
+    def columns(self):
+        return set()
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+
+_BINOPS = {
+    "+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide,
+    "==": np.equal, "!=": np.not_equal,
+    "<": np.less, "<=": np.less_equal,
+    ">": np.greater, ">=": np.greater_equal,
+}
+
+
+class BinOp(Expression):
+    """A binary arithmetic or comparison operator."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _BINOPS:
+            raise PlanError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env):
+        return _BINOPS[self.op](self.left.evaluate(env),
+                                self.right.evaluate(env))
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expression):
+    """Logical conjunction of any number of boolean expressions."""
+
+    def __init__(self, *terms):
+        if not terms:
+            raise PlanError("And() needs at least one term")
+        self.terms = [_wrap(t) for t in terms]
+
+    def evaluate(self, env):
+        result = np.asarray(self.terms[0].evaluate(env), dtype=bool)
+        for term in self.terms[1:]:
+            result = result & np.asarray(term.evaluate(env), dtype=bool)
+        return result
+
+    def columns(self):
+        return set().union(*(t.columns() for t in self.terms))
+
+
+class Or(Expression):
+    """Logical disjunction of any number of boolean expressions."""
+
+    def __init__(self, *terms):
+        if not terms:
+            raise PlanError("Or() needs at least one term")
+        self.terms = [_wrap(t) for t in terms]
+
+    def evaluate(self, env):
+        result = np.asarray(self.terms[0].evaluate(env), dtype=bool)
+        for term in self.terms[1:]:
+            result = result | np.asarray(term.evaluate(env), dtype=bool)
+        return result
+
+    def columns(self):
+        return set().union(*(t.columns() for t in self.terms))
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    def __init__(self, term):
+        self.term = _wrap(term)
+
+    def evaluate(self, env):
+        return ~np.asarray(self.term.evaluate(env), dtype=bool)
+
+    def columns(self):
+        return self.term.columns()
+
+
+class Between(Expression):
+    """Inclusive range predicate (SQL ``BETWEEN``)."""
+
+    def __init__(self, expr, low, high):
+        self.expr = _wrap(expr)
+        self.low = _wrap(low)
+        self.high = _wrap(high)
+
+    def evaluate(self, env):
+        value = self.expr.evaluate(env)
+        return ((value >= self.low.evaluate(env))
+                & (value <= self.high.evaluate(env)))
+
+    def columns(self):
+        return (self.expr.columns() | self.low.columns()
+                | self.high.columns())
+
+
+class InList(Expression):
+    """Membership in a constant list (SQL ``IN``)."""
+
+    def __init__(self, expr, values):
+        self.expr = _wrap(expr)
+        self.values = list(values)
+        if not self.values:
+            raise PlanError("InList needs at least one value")
+
+    def evaluate(self, env):
+        value = np.asarray(self.expr.evaluate(env))
+        return np.isin(value, self.values)
+
+    def columns(self):
+        return self.expr.columns()
+
+
+class Case(Expression):
+    """Two-armed SQL ``CASE WHEN cond THEN a ELSE b END``."""
+
+    def __init__(self, cond, then, otherwise):
+        self.cond = _wrap(cond)
+        self.then = _wrap(then)
+        self.otherwise = _wrap(otherwise)
+
+    def evaluate(self, env):
+        return np.where(np.asarray(self.cond.evaluate(env), dtype=bool),
+                        self.then.evaluate(env),
+                        self.otherwise.evaluate(env))
+
+    def columns(self):
+        return (self.cond.columns() | self.then.columns()
+                | self.otherwise.columns())
+
+
+class Floor(Expression):
+    """Integer floor of a numeric expression (used for year extraction)."""
+
+    def __init__(self, expr):
+        self.expr = _wrap(expr)
+
+    def evaluate(self, env):
+        return np.floor(np.asarray(self.expr.evaluate(env))).astype(np.int64)
+
+    def columns(self):
+        return self.expr.columns()
+
+
+# functional spellings, for plan builders that read better with words
+def eq(a, b): return BinOp("==", _wrap(a), _wrap(b))
+def ne(a, b): return BinOp("!=", _wrap(a), _wrap(b))
+def lt(a, b): return BinOp("<", _wrap(a), _wrap(b))
+def le(a, b): return BinOp("<=", _wrap(a), _wrap(b))
+def gt(a, b): return BinOp(">", _wrap(a), _wrap(b))
+def ge(a, b): return BinOp(">=", _wrap(a), _wrap(b))
+def add(a, b): return BinOp("+", _wrap(a), _wrap(b))
+def sub(a, b): return BinOp("-", _wrap(a), _wrap(b))
+def mul(a, b): return BinOp("*", _wrap(a), _wrap(b))
+def div(a, b): return BinOp("/", _wrap(a), _wrap(b))

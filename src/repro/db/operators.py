@@ -1,0 +1,389 @@
+"""Logical plan operators with real (numpy) execution.
+
+These nodes form the query trees built by :mod:`repro.workloads.tpch.queries`.
+They are *really executed* against the generated data — both as the oracle
+for correctness tests and to measure true intermediate cardinalities, which
+the profiler (:mod:`repro.db.plan`) converts into simulated work.
+
+A *relation* is a ``dict[str, np.ndarray]`` of equal-length columns.  Each
+node implements :meth:`PlanNode.compute` over already-evaluated inputs;
+:meth:`PlanNode.evaluate` is the recursive convenience wrapper.  The
+profiler drives ``compute`` itself so every node runs exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PlanError
+from .catalog import Catalog
+from .expressions import Expression
+
+Relation = dict[str, np.ndarray]
+
+
+def relation_rows(rel: Relation) -> int:
+    """Row count of a relation (0 for an empty dict)."""
+    if not rel:
+        return 0
+    return len(next(iter(rel.values())))
+
+
+def relation_bytes(rel: Relation) -> int:
+    """Payload bytes of a relation."""
+    return sum(arr.nbytes for arr in rel.values())
+
+
+def _as_column(value, n_rows: int) -> np.ndarray:
+    """Broadcast an expression result to a full column."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(n_rows, arr[()])
+    return arr
+
+
+def _encode_keys(columns: list[np.ndarray],
+                 *more: list[np.ndarray]) -> list[np.ndarray]:
+    """Jointly encode one or more aligned key-column groups to int64 codes.
+
+    All groups must list the same key arity; codes are comparable across
+    groups (needed to join left keys against right keys).
+    """
+    groups = [columns, *more]
+    arity = len(columns)
+    if any(len(g) != arity for g in groups):
+        raise PlanError("key groups must have the same arity")
+    codes = [np.zeros(len(g[0]), dtype=np.int64) for g in groups]
+    for position in range(arity):
+        stacked = np.concatenate(
+            [np.asarray(g[position]) for g in groups])
+        _, inverse = np.unique(stacked, return_inverse=True)
+        cardinality = int(inverse.max()) + 1 if len(inverse) else 1
+        offset = 0
+        for gi, g in enumerate(groups):
+            n = len(g[position])
+            codes[gi] = codes[gi] * cardinality + inverse[offset:offset + n]
+            offset += n
+    return codes
+
+
+class PlanNode:
+    """Base class for all logical operators."""
+
+    def children(self) -> list["PlanNode"]:
+        """Child nodes, left to right."""
+        raise NotImplementedError
+
+    def compute(self, inputs: list[Relation],
+                catalog: Catalog) -> Relation:
+        """Produce the output relation from already-evaluated inputs."""
+        raise NotImplementedError
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        """Execute the subtree for real and return its relation."""
+        inputs = [child.evaluate(catalog) for child in self.children()]
+        return self.compute(inputs, catalog)
+
+
+class Scan(PlanNode):
+    """Leaf: read a base table (optionally a column subset)."""
+
+    def __init__(self, table: str, columns: list[str] | None = None):
+        self.table = table
+        self.columns = columns
+
+    def children(self):
+        return []
+
+    def compute(self, inputs, catalog):
+        table = catalog.table(self.table)
+        names = self.columns if self.columns is not None else \
+            table.column_names()
+        return {name: table.bat(name).values for name in names}
+
+
+class Filter(PlanNode):
+    """Row selection by a boolean predicate expression."""
+
+    def __init__(self, child: PlanNode, predicate: Expression,
+                 keep: list[str] | None = None):
+        self.child = child
+        self.predicate = predicate
+        self.keep = keep
+
+    def children(self):
+        return [self.child]
+
+    def compute(self, inputs, catalog):
+        rel = inputs[0]
+        mask = np.asarray(self.predicate.evaluate(rel), dtype=bool)
+        names = self.keep if self.keep is not None else list(rel)
+        return {name: rel[name][mask] for name in names}
+
+
+class Project(PlanNode):
+    """Compute named expressions over the child relation."""
+
+    def __init__(self, child: PlanNode, outputs: dict[str, Expression]):
+        if not outputs:
+            raise PlanError("Project needs at least one output")
+        self.child = child
+        self.outputs = outputs
+
+    def children(self):
+        return [self.child]
+
+    def compute(self, inputs, catalog):
+        rel = inputs[0]
+        n = relation_rows(rel)
+        return {name: _as_column(expr.evaluate(rel), n)
+                for name, expr in self.outputs.items()}
+
+
+class Join(PlanNode):
+    """Hash join.  ``how`` is inner, left, semi or anti.
+
+    * ``inner`` / ``left`` output kept probe-side columns plus kept
+      build-side columns (left join fills unmatched rows with ``fill``);
+    * ``semi`` / ``anti`` output probe-side columns only.
+
+    The probe side is ``left``; the build side is ``right`` — keep the
+    smaller input on the right, as the TPC-H builders do.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: list[str], right_keys: list[str],
+                 how: str = "inner",
+                 keep_left: list[str] | None = None,
+                 keep_right: list[str] | None = None,
+                 fill=0):
+        if how not in ("inner", "left", "semi", "anti"):
+            raise PlanError(f"unknown join type {how!r}")
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("join needs matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.how = how
+        self.keep_left = keep_left
+        self.keep_right = keep_right
+        self.fill = fill
+
+    def children(self):
+        return [self.left, self.right]
+
+    def compute(self, inputs, catalog):
+        lrel, rrel = inputs
+        lk, rk = _encode_keys([lrel[k] for k in self.left_keys],
+                              [rrel[k] for k in self.right_keys])
+        keep_left = (self.keep_left if self.keep_left is not None
+                     else list(lrel))
+        if self.how in ("semi", "anti"):
+            matched = np.isin(lk, rk)
+            mask = matched if self.how == "semi" else ~matched
+            return {name: lrel[name][mask] for name in keep_left}
+
+        order = np.argsort(rk, kind="stable")
+        rk_sorted = rk[order]
+        lo = np.searchsorted(rk_sorted, lk, side="left")
+        hi = np.searchsorted(rk_sorted, lk, side="right")
+        counts = hi - lo
+        keep_right = (self.keep_right if self.keep_right is not None
+                      else [c for c in rrel if c not in self.right_keys])
+        if self.how == "left":
+            # unmatched probe rows survive once with filled build columns
+            counts = np.maximum(counts, 1)
+        total = int(counts.sum())
+        li = np.repeat(np.arange(len(lk)), counts)
+        starts = np.concatenate(([0], np.cumsum(counts)))[:len(counts)]
+        within = np.arange(total) - np.repeat(starts, counts)
+        rpos = lo[li] + within
+        matched_rows = hi[li] > lo[li]
+        if len(order):
+            rpos = np.where(matched_rows,
+                            np.minimum(rpos, len(order) - 1), 0)
+        result: Relation = {name: lrel[name][li] for name in keep_left}
+        for name in keep_right:
+            if len(order):
+                values = rrel[name][order[rpos]]
+            else:
+                values = np.zeros(total, dtype=rrel[name].dtype)
+            if self.how == "left":
+                values = np.where(matched_rows, values, self.fill)
+            result[name] = values
+        return result
+
+
+_AGG_FUNCS = ("sum", "count", "avg", "min", "max", "count_distinct")
+
+
+class Aggregate(PlanNode):
+    """Grouped aggregation.
+
+    ``aggs`` maps output names to ``(func, expr)`` where ``func`` is one of
+    ``sum, count, avg, min, max, count_distinct`` and ``expr`` may be
+    ``None`` for ``count``.  With empty ``group_by`` a single row results.
+    """
+
+    def __init__(self, child: PlanNode, group_by: list[str],
+                 aggs: dict[str, tuple[str, Expression | None]]):
+        for name, (func, expr) in aggs.items():
+            if func not in _AGG_FUNCS:
+                raise PlanError(f"unknown aggregate {func!r} for {name!r}")
+            if expr is None and func != "count":
+                raise PlanError(f"aggregate {name!r} needs an expression")
+        self.child = child
+        self.group_by = group_by
+        self.aggs = aggs
+
+    def children(self):
+        return [self.child]
+
+    def compute(self, inputs, catalog):
+        rel = inputs[0]
+        n = relation_rows(rel)
+        if self.group_by:
+            codes = _encode_keys([rel[k] for k in self.group_by])[0]
+            _, first_idx, inverse = np.unique(
+                codes, return_index=True, return_inverse=True)
+            n_groups = len(first_idx)
+        else:
+            first_idx = np.zeros(0, dtype=np.int64)
+            inverse = np.zeros(n, dtype=np.int64)
+            n_groups = 1
+        result: Relation = {key: rel[key][first_idx]
+                            for key in self.group_by}
+        for name, (func, expr) in self.aggs.items():
+            result[name] = self._compute_agg(func, expr, rel, inverse,
+                                             n_groups, n)
+        return result
+
+    def _compute_agg(self, func, expr, rel, inverse, n_groups, n_rows):
+        if func == "count":
+            return np.bincount(inverse, minlength=n_groups).astype(np.int64)
+        values = _as_column(expr.evaluate(rel), n_rows)
+        if func == "sum":
+            return np.bincount(inverse, weights=values.astype(np.float64),
+                               minlength=n_groups)
+        if func == "avg":
+            sums = np.bincount(inverse, weights=values.astype(np.float64),
+                               minlength=n_groups)
+            counts = np.bincount(inverse, minlength=n_groups)
+            return sums / np.maximum(counts, 1)
+        if func in ("min", "max"):
+            fill = np.inf if func == "min" else -np.inf
+            out = np.full(n_groups, fill, dtype=np.float64)
+            ufunc = np.minimum if func == "min" else np.maximum
+            ufunc.at(out, inverse, values.astype(np.float64))
+            return out
+        # count_distinct: count unique (group, value) pairs per group
+        if n_rows == 0:
+            return np.zeros(n_groups, dtype=np.int64)
+        pair = _encode_keys([inverse, np.asarray(values)])[0]
+        _, pair_idx = np.unique(pair, return_index=True)
+        return np.bincount(inverse[pair_idx],
+                           minlength=n_groups).astype(np.int64)
+
+
+class IndexLookup(PlanNode):
+    """Point lookup through a (simulated) index on one key column.
+
+    Real execution is an equality filter; the *cost* difference from
+    :class:`Filter` is in the profiler: an index descent touches a
+    handful of pages instead of streaming the column (see
+    :meth:`repro.db.plan.Profiler._on_index_lookup`).  This is the OLTP
+    substrate for the mixed-workload extension.
+    """
+
+    def __init__(self, table: str, key_column: str, value,
+                 keep: list[str] | None = None):
+        self.table = table
+        self.key_column = key_column
+        self.value = value
+        self.keep = keep
+
+    def children(self):
+        return []
+
+    def compute(self, inputs, catalog):
+        table = catalog.table(self.table)
+        env = table.env()
+        mask = env[self.key_column] == self.value
+        names = self.keep if self.keep is not None else list(env)
+        return {name: env[name][mask] for name in names}
+
+    def match_fraction(self, catalog: Catalog) -> float:
+        """Position of the first matching row as a fraction of the table
+        (drives which page the simulated index descent lands on)."""
+        table = catalog.table(self.table)
+        keys = table.env()[self.key_column]
+        matches = np.flatnonzero(keys == self.value)
+        if len(matches) == 0 or len(keys) == 0:
+            return 0.0
+        return float(matches[0]) / len(keys)
+
+
+class Distinct(PlanNode):
+    """Unique rows over the listed columns."""
+
+    def __init__(self, child: PlanNode, columns: list[str]):
+        if not columns:
+            raise PlanError("Distinct needs at least one column")
+        self.child = child
+        self.columns = columns
+
+    def children(self):
+        return [self.child]
+
+    def compute(self, inputs, catalog):
+        rel = inputs[0]
+        codes = _encode_keys([rel[c] for c in self.columns])[0]
+        _, idx = np.unique(codes, return_index=True)
+        idx.sort()
+        return {c: rel[c][idx] for c in self.columns}
+
+
+class OrderBy(PlanNode):
+    """Sort by one or more keys; ``ascending`` aligns with ``keys``."""
+
+    def __init__(self, child: PlanNode, keys: list[str],
+                 ascending: list[bool] | None = None):
+        if not keys:
+            raise PlanError("OrderBy needs at least one key")
+        self.child = child
+        self.keys = keys
+        self.ascending = ascending if ascending is not None \
+            else [True] * len(keys)
+        if len(self.ascending) != len(keys):
+            raise PlanError("ascending list must match keys")
+
+    def children(self):
+        return [self.child]
+
+    def compute(self, inputs, catalog):
+        rel = inputs[0]
+        # lexsort uses the last key as primary: feed reversed, negate descs
+        sort_cols = []
+        for key, asc in zip(reversed(self.keys), reversed(self.ascending)):
+            col = rel[key]
+            sort_cols.append(col if asc else -col.astype(np.float64))
+        order = np.lexsort(sort_cols)
+        return {name: arr[order] for name, arr in rel.items()}
+
+
+class Limit(PlanNode):
+    """Keep the first ``n`` rows of the child."""
+
+    def __init__(self, child: PlanNode, n: int):
+        if n < 0:
+            raise PlanError("limit must be non-negative")
+        self.child = child
+        self.n = n
+
+    def children(self):
+        return [self.child]
+
+    def compute(self, inputs, catalog):
+        rel = inputs[0]
+        return {name: arr[:self.n] for name, arr in rel.items()}

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Each layer of the system has its own
+subclass to make failures attributable: the simulator, the simulated OS, the
+database engines and the allocation mechanism each raise their own family.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine detected an invalid operation."""
+
+
+class SchedulerError(ReproError):
+    """The simulated OS scheduler was driven into an invalid state."""
+
+
+class HardwareError(ReproError):
+    """The simulated hardware (caches, memory, interconnect) was misused."""
+
+
+class DatabaseError(ReproError):
+    """A database engine, plan or operator failed."""
+
+
+class PlanError(DatabaseError):
+    """A physical plan is malformed (bad stage wiring, unknown column...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or generator was misconfigured."""
+
+
+class PetriNetError(ReproError):
+    """The PrT net was built or fired inconsistently."""
+
+
+class AllocationError(ReproError):
+    """The core-allocation mechanism attempted an impossible allocation."""

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning a result object with
+``rows()``/``table()`` for human-readable output and named series for
+programmatic checks.  The benchmark suite under ``benchmarks/`` is a thin
+wrapper that executes these and prints the tables; EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+from .common import SystemUnderTest, build_system, run_phased_workload
+
+__all__ = ["SystemUnderTest", "build_system", "run_phased_workload"]

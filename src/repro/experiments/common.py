@@ -1,0 +1,218 @@
+"""Shared plumbing for the per-figure experiment harnesses.
+
+:func:`build_system` assembles one complete system under test — simulated
+machine, OS, database engine, registered TPC-H queries and (optionally) the
+elastic controller — from short string specs, so every harness reads like
+the experiment description in the paper:
+
+    sut = build_system(engine="monetdb", mode="adaptive")
+    result = sut.run_clients(n_clients=256, stream=repeat_stream("q6", 1))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..config import (ControllerConfig, EngineConfig, MachineConfig,
+                      SchedulerConfig)
+from ..core import ElasticController, make_mode, make_strategy
+from ..core.strategies import TransitionStrategy
+from ..db.cost import CostModel
+from ..db.clients import ClientPool, WorkloadResult, repeat_stream
+from ..db.engine import DatabaseEngine, MonetDBLike
+from ..db.morsel import MorselEngine
+from ..db.numa_aware import NumaAwareEngine
+from ..errors import ConfigError
+from ..hardware.counters import CounterSnapshot
+from ..hardware.prebuilt import opteron_8387
+from ..opsys.system import OperatingSystem
+from ..opsys.thread import reset_thread_ids
+from ..sim.tracing import PlacementRecord, TraceRecorder
+from ..workloads.selectivity import (SELECTIVITY_LEVELS, selectivity_name,
+                                     selectivity_query)
+from ..workloads.tpch import build_queries, generate
+from ..workloads.tpch.datagen import TpchDataset
+
+#: dataset cache — generation and profiling dominate harness start-up, and
+#: datasets are immutable, so share them across systems under test
+_DATASETS: dict[tuple[float, float, int], TpchDataset] = {}
+
+
+def dataset_for(scale: float = 0.01, sim_scale: float = 1.0,
+                seed: int = 42) -> TpchDataset:
+    """Generate (or fetch the cached) TPC-H dataset."""
+    key = (scale, sim_scale, seed)
+    if key not in _DATASETS:
+        _DATASETS[key] = generate(scale=scale, sim_scale=sim_scale,
+                                  seed=seed)
+    return _DATASETS[key]
+
+
+@dataclass
+class SystemUnderTest:
+    """One assembled machine + engine + (optional) controller."""
+
+    os: OperatingSystem
+    engine: DatabaseEngine
+    controller: ElasticController | None
+    dataset: TpchDataset
+    mode_name: str | None
+    _baseline: CounterSnapshot | None = field(default=None, repr=False)
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``monetdb/adaptive`` or ``monetdb/OS``."""
+        return f"{self.engine.name}/{self.mode_name or 'OS'}"
+
+    # ------------------------------------------------------------------
+
+    def mark(self) -> None:
+        """Snapshot counters; deltas are measured from the last mark."""
+        self._baseline = self.os.counters.snapshot(self.os.now)
+
+    def delta(self, name: str, index=None) -> float:
+        """Counter increase since the last :meth:`mark` (whole family when
+        ``index`` is omitted)."""
+        current = self.os.counters.snapshot(self.os.now)
+        if self._baseline is None:
+            if index is None:
+                return current.total(name)
+            return current.get(name, index)
+        if index is None:
+            return current.delta_total(self._baseline, name)
+        return current.delta(self._baseline, name, index)
+
+    def delta_by_index(self, name: str) -> dict:
+        """Per-index counter increases since the last mark."""
+        current = self.os.counters.by_index(name)
+        if self._baseline is None:
+            return dict(current)
+        return {i: v - self._baseline.get(name, i)
+                for i, v in current.items()}
+
+    # ------------------------------------------------------------------
+
+    def run_clients(self, n_clients: int,
+                    stream: Callable[[int], Iterable[str]],
+                    ) -> WorkloadResult:
+        """Run one closed-loop client pool to completion."""
+        pool = ClientPool(self.engine, n_clients, stream)
+        result = pool.run()
+        if self.controller is not None:
+            self.controller.kick()
+        return result
+
+    def run_phases(self, phases: Iterable[str], n_clients: int,
+                   repetitions: int = 1) -> list[WorkloadResult]:
+        """The paper's stable-phases protocol: every phase is all clients
+        running one query ``repetitions`` times, draining in between."""
+        results = []
+        for query_name in phases:
+            results.append(self.run_clients(
+                n_clients, repeat_stream(query_name, repetitions)))
+        return results
+
+    def ht_imc_ratio(self) -> float:
+        """HT/IMC traffic ratio since the last mark."""
+        imc = self.delta("imc_bytes")
+        if imc <= 0:
+            return 0.0
+        return self.delta("ht_tx_bytes") / imc
+
+    def query_ht_imc_ratio(self, query_name: str) -> float:
+        """Per-query HT/IMC ratio since the last mark (Fig 19's metric)."""
+        imc = self.delta("query_imc_bytes", query_name)
+        if imc <= 0:
+            return 0.0
+        return self.delta("query_ht_bytes", query_name) / imc
+
+
+def build_system(engine: str = "monetdb",
+                 mode: str | None = None,
+                 strategy: str | TransitionStrategy = "cpu_load",
+                 scale: float = 0.01,
+                 sim_scale: float = 1.0,
+                 seed: int = 42,
+                 register: str = "tpch",
+                 machine: MachineConfig | None = None,
+                 scheduler: SchedulerConfig | None = None,
+                 controller: ControllerConfig | None = None,
+                 engine_config: EngineConfig | None = None,
+                 cost_model: CostModel | None = None,
+                 record_placements: bool = False,
+                 keepalive: bool = False) -> SystemUnderTest:
+    """Assemble a complete system under test.
+
+    Parameters
+    ----------
+    engine:
+        ``"monetdb"`` (OS-scheduled Volcano), ``"sqlserver"``
+        (NUMA-aware, partitioned + node-affined) or ``"morsel"``
+        (HyPer-style pinned workers with dynamic morsel dispatch).
+    mode:
+        ``None`` for the uncontrolled baseline (all cores exposed), or one
+        of ``"dense"``, ``"sparse"``, ``"adaptive"``.
+    strategy:
+        ``"cpu_load"``, ``"ht_imc"`` or ``"useful_load"``; thresholds come
+        from the strategy defaults (10/70 and 0.1/0.4, per the paper).
+    register:
+        ``"tpch"`` registers q1..q22 plus the selectivity sweep;
+        ``"none"`` leaves the registry empty (caller registers plans).
+    record_placements:
+        Placement records are high-volume; only trace experiments ask for
+        them.
+    """
+    reset_thread_ids()
+    tracer = TraceRecorder()
+    if not record_placements:
+        tracer.mute(PlacementRecord)
+    os_ = OperatingSystem(machine or opteron_8387(), scheduler,
+                          tracer=tracer)
+    dataset = dataset_for(scale, sim_scale, seed)
+    catalog = dataset.catalog()
+
+    if engine == "monetdb":
+        eng: DatabaseEngine = MonetDBLike(os_, catalog, dataset.byte_scale,
+                                          engine_config, cost_model)
+    elif engine == "sqlserver":
+        eng = NumaAwareEngine(os_, catalog, dataset.byte_scale,
+                              engine_config, cost_model)
+    elif engine == "morsel":
+        eng = MorselEngine(os_, catalog, dataset.byte_scale,
+                           engine_config, cost_model)
+    else:
+        raise ConfigError(f"unknown engine {engine!r}")
+    eng.load()
+    os_.counters.reset()
+
+    if register == "tpch":
+        eng.register_queries(build_queries(scale=scale))
+        # the Fig 15 sweep plus the paper's ~45 %-selectivity
+        # thetasubselect workload (Fig 13/14)
+        for level in (*SELECTIVITY_LEVELS, 0.45):
+            eng.register_query(selectivity_name(level),
+                               selectivity_query(level))
+    elif register != "none":
+        raise ConfigError(f"unknown register set {register!r}")
+
+    ctrl = None
+    if mode is not None:
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy)
+        ctrl = ElasticController(
+            os_, make_mode(mode, os_.topology), strategy,
+            controller, keepalive=keepalive)
+        ctrl.start()
+    return SystemUnderTest(os=os_, engine=eng, controller=ctrl,
+                           dataset=dataset, mode_name=mode)
+
+
+def run_phased_workload(sut: SystemUnderTest, phases: Iterable[str],
+                        n_clients: int) -> tuple[float, int]:
+    """Run phases back-to-back; returns (makespan, queries completed)."""
+    start = sut.os.now
+    completed = 0
+    for result in sut.run_phases(phases, n_clients):
+        completed += result.queries_completed
+    return sut.os.now - start, completed

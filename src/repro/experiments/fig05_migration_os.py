@@ -1,0 +1,89 @@
+"""Fig 5 — thread lifespan and migration under the plain OS (paper §II-B2).
+
+A single client executes Q6 with all 16 cores exposed; the placement trace
+shows every worker hopping between cores (and nodes) as the load balancer
+chases balance.  The expected shape: multiple migrations per worker, with
+visits to more than one NUMA node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..db.clients import repeat_stream
+from ..sim.tracing import MigrationRecord, PlacementRecord
+from .common import SystemUnderTest, build_system
+
+
+@dataclass
+class ThreadTimeline:
+    """Placement history of one worker thread."""
+
+    thread_id: int
+    #: (time, core, node) in placement order
+    placements: list[tuple[float, int, int]] = field(default_factory=list)
+
+    @property
+    def migrations(self) -> int:
+        """Core changes over the thread's lifetime."""
+        return max(len(self.placements) - 1, 0)
+
+    @property
+    def nodes_visited(self) -> set[int]:
+        """Distinct NUMA nodes the thread ran on."""
+        return {node for _, _, node in self.placements}
+
+
+@dataclass
+class Fig05Result:
+    """Per-thread timelines plus aggregate migration counts."""
+
+    timelines: list[ThreadTimeline]
+    total_migrations: int
+    stolen: int
+    elapsed: float
+
+    def rows(self) -> list[list[object]]:
+        """One row per worker thread."""
+        return [[f"T{t.thread_id}", t.migrations,
+                 len(t.nodes_visited),
+                 " ".join(str(c) for _, c, _ in t.placements[:12])]
+                for t in self.timelines]
+
+    def table(self) -> str:
+        """The Fig 5 migration map as a text table."""
+        return render_table(
+            ["thread", "migrations", "nodes", "core sequence"],
+            self.rows(),
+            title=(f"Fig 5 - OS placement of Q6 workers "
+                   f"(total migrations {self.total_migrations}, "
+                   f"stolen {self.stolen})"))
+
+
+def collect_timelines(sut: SystemUnderTest) -> list[ThreadTimeline]:
+    """Group placement records per thread, in thread order."""
+    by_thread: dict[int, ThreadTimeline] = {}
+    for record in sut.os.tracer.of(PlacementRecord):
+        timeline = by_thread.setdefault(
+            record.thread_id, ThreadTimeline(record.thread_id))
+        timeline.placements.append(
+            (record.time, record.core_id, record.node_id))
+    return [by_thread[tid] for tid in sorted(by_thread)]
+
+
+def run(scale: float = 0.01, sim_scale: float = 1.0,
+        repetitions: int = 2) -> Fig05Result:
+    """Single-client Q6 on the unmanaged OS, with placement tracing."""
+    sut = build_system(engine="monetdb", mode=None, scale=scale,
+                       sim_scale=sim_scale, record_placements=True)
+    sut.mark()
+    result = sut.run_clients(1, repeat_stream("q6", repetitions))
+    timelines = collect_timelines(sut)
+    migrations = [m for m in sut.os.tracer.of(MigrationRecord)]
+    return Fig05Result(
+        timelines=timelines,
+        total_migrations=len(migrations),
+        stolen=sum(1 for m in migrations if m.stolen),
+        elapsed=result.makespan,
+    )

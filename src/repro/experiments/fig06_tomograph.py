@@ -1,0 +1,84 @@
+"""Fig 6 — Tomograph view: per-operator calls and time for Q6 (§II-B2).
+
+The paper screenshots MonetDB's Tomograph showing the 16 worker threads
+and, per MAL operator, how many parallel calls ran and how long they took.
+Our stage records carry the same information: the harness groups them by
+operator label.
+
+Expected shape: the scan-side operators (``algebra.thetasubselect``,
+``algebra.select``) dominate total time and run one call per worker, while
+the final aggregation and result stages are single-call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.report import render_table
+from ..db.clients import repeat_stream
+from ..sim.tracing import StageRecord
+from .common import build_system
+
+
+@dataclass(frozen=True)
+class OperatorRow:
+    """Aggregated Tomograph line for one operator."""
+
+    operator: str
+    calls: int
+    total_time: float
+    workers: int
+
+
+@dataclass
+class Fig06Result:
+    """Operator rows plus the worker-thread census."""
+
+    operators: list[OperatorRow]
+    n_worker_threads: int
+    elapsed: float
+
+    def calls_of(self, operator: str) -> int:
+        """Parallel call count of one operator (0 when absent)."""
+        for row in self.operators:
+            if row.operator == operator:
+                return row.calls
+        return 0
+
+    def rows(self) -> list[list[object]]:
+        """One row per operator, by descending total time."""
+        return [[row.operator, row.calls, row.total_time * 1e3,
+                 row.workers]
+                for row in self.operators]
+
+    def table(self) -> str:
+        """The Fig 6 Tomograph listing as a text table."""
+        return render_table(
+            ["operator", "calls", "total ms", "workers"],
+            self.rows(),
+            title=(f"Fig 6 - Tomograph of Q6 "
+                   f"({self.n_worker_threads} worker threads)"))
+
+
+def run(scale: float = 0.01, sim_scale: float = 1.0) -> Fig06Result:
+    """Single-client Q6, stage records grouped by operator."""
+    sut = build_system(engine="monetdb", mode=None, scale=scale,
+                       sim_scale=sim_scale)
+    result = sut.run_clients(1, repeat_stream("q6", 1))
+    calls: dict[str, list[StageRecord]] = {}
+    for record in sut.os.tracer.of(StageRecord):
+        calls.setdefault(record.operator, []).append(record)
+    operators = [
+        OperatorRow(
+            operator=op,
+            calls=len(records),
+            total_time=sum(r.elapsed for r in records),
+            workers=len({r.thread_id for r in records}),
+        )
+        for op, records in calls.items()
+    ]
+    operators.sort(key=lambda row: -row.total_time)
+    workers = {r.thread_id for rs in calls.values() for r in rs}
+    return Fig06Result(operators=operators,
+                       n_worker_threads=len(workers),
+                       elapsed=result.makespan)

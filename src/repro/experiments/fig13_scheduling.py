@@ -1,0 +1,86 @@
+"""Fig 13 — scheduling metrics vs concurrency for the four modes (§V-A1).
+
+The paper runs the modified Q6 (the ``thetasubselect``-dominated scan) with
+1..256 concurrent users under the plain OS and under the mechanism in
+dense, sparse and adaptive modes, reporting throughput, CPU load, dispatch
+("tasks") counts and stolen tasks.
+
+Expected shapes: similar CPU load and task counts everywhere; the OS
+scheduler steals noticeably more tasks than the adaptive mode; adaptive
+throughput at least matches the OS at high concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..db.clients import repeat_stream
+from .common import build_system
+
+MODES = (None, "dense", "sparse", "adaptive")
+DEFAULT_USERS = (1, 4, 16, 64)
+
+#: the paper's modified Q6: a ~45 %-selectivity thetasubselect scan
+WORKLOAD_QUERY = "sel_45pct"
+
+
+@dataclass(frozen=True)
+class Fig13Cell:
+    """One (mode, users) measurement."""
+
+    throughput: float
+    cpu_load: float
+    tasks: float
+    stolen_tasks: float
+
+
+@dataclass
+class Fig13Result:
+    """Cells per mode label and user count."""
+
+    users: tuple[int, ...]
+    cells: dict[tuple[str, int], Fig13Cell] = field(default_factory=dict)
+
+    def cell(self, mode: str | None, users: int) -> Fig13Cell:
+        """Fetch one cell; ``mode=None`` is the OS baseline."""
+        return self.cells[(mode or "OS", users)]
+
+    def rows(self) -> list[list[object]]:
+        """Flat rows for rendering."""
+        out: list[list[object]] = []
+        for (mode, users), cell in self.cells.items():
+            out.append([mode, users, cell.throughput, cell.cpu_load,
+                        cell.tasks, cell.stolen_tasks])
+        return out
+
+    def table(self) -> str:
+        """The Fig 13 series as a text table."""
+        return render_table(
+            ["mode", "users", "queries/s", "CPU load %", "tasks",
+             "stolen"],
+            self.rows(), title="Fig 13 - thetasubselect vs concurrency")
+
+
+def run(users: tuple[int, ...] = DEFAULT_USERS, repetitions: int = 4,
+        scale: float = 0.01, sim_scale: float = 1.0) -> Fig13Result:
+    """Sweep users for all four scheduling configurations."""
+    result = Fig13Result(users=users)
+    for mode in MODES:
+        for n in users:
+            sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                               sim_scale=sim_scale)
+            sut.mark()
+            workload = sut.run_clients(
+                n, repeat_stream(WORKLOAD_QUERY, repetitions))
+            makespan = max(workload.makespan, 1e-9)
+            n_cores = sut.os.topology.n_cores
+            cpu_load = 100.0 * sut.delta("busy_time") \
+                / (makespan * n_cores)
+            result.cells[(mode or "OS", n)] = Fig13Cell(
+                throughput=workload.throughput,
+                cpu_load=min(cpu_load, 100.0),
+                tasks=sut.delta("tasks"),
+                stolen_tasks=sut.delta("stolen_tasks"),
+            )
+    return result

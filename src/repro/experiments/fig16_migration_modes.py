@@ -1,0 +1,80 @@
+"""Fig 16 — thread migration maps for all four configurations (§V-A3).
+
+Single-client Q6, full plan, comparing where workers run and how often
+they migrate under the OS scheduler and under the mechanism's three modes.
+
+Expected shapes: the OS migrates workers across many cores and nodes; the
+dense and adaptive modes confine workers to very few nodes with far fewer
+migrations; sparse spreads threads but still migrates less than the OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..db.clients import repeat_stream
+from ..sim.tracing import MigrationRecord
+from .common import build_system
+from .fig05_migration_os import ThreadTimeline, collect_timelines
+
+MODES = (None, "dense", "sparse", "adaptive")
+
+
+@dataclass(frozen=True)
+class Fig16Cell:
+    """One configuration's migration picture."""
+
+    timelines: list[ThreadTimeline]
+    migrations: int
+    nodes_used: int
+    elapsed: float
+
+
+@dataclass
+class Fig16Result:
+    """Cells per mode label."""
+
+    cells: dict[str, Fig16Cell] = field(default_factory=dict)
+
+    def cell(self, mode: str | None) -> Fig16Cell:
+        """Fetch one configuration's cell."""
+        return self.cells[mode or "OS"]
+
+    def rows(self) -> list[list[object]]:
+        """One row per configuration."""
+        return [[mode, cell.migrations, cell.nodes_used,
+                 len(cell.timelines), cell.elapsed * 1e3]
+                for mode, cell in self.cells.items()]
+
+    def table(self) -> str:
+        """The Fig 16 comparison as a text table."""
+        return render_table(
+            ["mode", "migrations", "nodes used", "threads", "elapsed ms"],
+            self.rows(), title="Fig 16 - single-client Q6 migration maps")
+
+
+def run(repetitions: int = 2, warmup: int = 4, scale: float = 0.01,
+        sim_scale: float = 1.0) -> Fig16Result:
+    """Trace single-client Q6 under each configuration.
+
+    ``warmup`` repetitions let the controller reach its steady allocation
+    before tracing starts (the paper's runs are similarly warm).
+    """
+    result = Fig16Result()
+    for mode in MODES:
+        sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                           sim_scale=sim_scale, record_placements=True)
+        if warmup:
+            sut.run_clients(1, repeat_stream("q6", warmup))
+            sut.os.tracer.clear()
+        workload = sut.run_clients(1, repeat_stream("q6", repetitions))
+        timelines = collect_timelines(sut)
+        nodes = {node for t in timelines for node in t.nodes_visited}
+        result.cells[mode or "OS"] = Fig16Cell(
+            timelines=timelines,
+            migrations=len(sut.os.tracer.of(MigrationRecord)),
+            nodes_used=len(nodes),
+            elapsed=workload.makespan,
+        )
+    return result

@@ -1,0 +1,129 @@
+"""Fig 18 — stable-phases workload: per-socket memory throughput (§V-C1).
+
+All clients run each TPC-H query as one concurrent phase (q1 by everyone,
+then q2, ...).  A periodic probe samples each socket's memory-controller
+rate, yielding the time series the paper plots for MonetDB and SQL Server,
+with and without the adaptive mechanism.
+
+Expected shapes: OS/MonetDB hammers the loader socket (S0) for the whole
+run; the adaptive mechanism finishes sooner and shifts socket focus across
+phases; SQL Server spreads throughput across sockets in both cases and
+still finishes sooner with the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..db.clients import ClientPool, repeat_stream
+from ..workloads.phases import stable_phases_schedule
+from .common import SystemUnderTest, build_system
+
+CONFIGS = (
+    ("monetdb", None),
+    ("monetdb", "adaptive"),
+    ("sqlserver", None),
+    ("sqlserver", "adaptive"),
+)
+
+
+@dataclass
+class ThroughputTimeline:
+    """Per-socket memory throughput samples over one run."""
+
+    sample_interval: float
+    #: (time, {socket: bytes/s})
+    samples: list[tuple[float, dict[int, float]]] \
+        = field(default_factory=list)
+    makespan: float = 0.0
+
+    def socket_share(self) -> dict[int, float]:
+        """Fraction of total memory traffic served by each socket."""
+        totals: dict[int, float] = {}
+        for _, rates in self.samples:
+            for socket, rate in rates.items():
+                totals[socket] = totals.get(socket, 0.0) + rate
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {s: 0.0 for s in totals}
+        return {s: v / grand for s, v in totals.items()}
+
+    def peak_rate(self) -> float:
+        """Highest single-socket rate observed."""
+        return max((rate for _, rates in self.samples
+                    for rate in rates.values()), default=0.0)
+
+
+@dataclass
+class Fig18Result:
+    """Timelines per configuration label."""
+
+    timelines: dict[str, ThroughputTimeline] = field(default_factory=dict)
+
+    def makespan(self, engine: str, mode: str | None) -> float:
+        """Total run time of one configuration."""
+        return self.timelines[f"{engine}/{mode or 'OS'}"].makespan
+
+    def rows(self) -> list[list[object]]:
+        """One row per configuration."""
+        out: list[list[object]] = []
+        for label, timeline in self.timelines.items():
+            share = timeline.socket_share()
+            row: list[object] = [label, timeline.makespan]
+            row.extend(round(share.get(s, 0.0), 3)
+                       for s in sorted(share))
+            row.append(timeline.peak_rate() / 1e9)
+            out.append(row)
+        return out
+
+    def table(self) -> str:
+        """The Fig 18 summary as a text table."""
+        sockets = sorted(next(iter(self.timelines.values()))
+                         .socket_share())
+        headers = ["config", "makespan s"]
+        headers.extend(f"S{s} share" for s in sockets)
+        headers.append("peak GB/s")
+        return render_table(headers, self.rows(),
+                            title="Fig 18 - stable phases workload")
+
+
+def _probe(sut: SystemUnderTest, timeline: ThroughputTimeline,
+           previous: dict) -> None:
+    now = sut.os.now
+    current = {s: sut.os.counters.get("imc_bytes", s)
+               for s in sut.os.topology.all_nodes()}
+    rates = {s: (current[s] - previous.get(s, 0.0))
+             / timeline.sample_interval for s in current}
+    timeline.samples.append((now, rates))
+    previous.clear()
+    previous.update(current)
+    if sut.os.scheduler.live_threads() > 0:
+        sut.os.sim.schedule(timeline.sample_interval, _probe, sut,
+                            timeline, previous)
+
+
+def run(n_clients: int = 16, scale: float = 0.01, sim_scale: float = 1.0,
+        sample_interval: float = 0.1,
+        queries: list[str] | None = None) -> Fig18Result:
+    """Run the stable-phases workload for all four configurations."""
+    phases = stable_phases_schedule(queries)
+    result = Fig18Result()
+    for engine, mode in CONFIGS:
+        sut = build_system(engine=engine, mode=mode, scale=scale,
+                           sim_scale=sim_scale)
+        timeline = ThroughputTimeline(sample_interval=sample_interval)
+        start = sut.os.now
+        previous: dict = {}
+        for query_name in phases:
+            pool = ClientPool(sut.engine, n_clients,
+                              repeat_stream(query_name, 1))
+            pool.start()
+            sut.os.sim.schedule(sample_interval, _probe, sut, timeline,
+                                previous)
+            sut.os.run_until_idle()
+            if sut.controller is not None:
+                sut.controller.kick()
+        timeline.makespan = sut.os.now - start
+        result.timelines[sut.label] = timeline
+    return result

@@ -1,0 +1,118 @@
+"""Fig 19 — mixed-phases workload: per-query speedup and HT/IMC (§V-C2).
+
+Every client continuously runs a random query out of the 22; per query the
+harness reports the mean latency under each configuration and the
+per-query HT/IMC traffic ratio (attributed through the per-query counter
+families).  The headline numbers of the paper — speedup of the adaptive
+mode over the OS and the ratio reduction — are derived from these series.
+
+Expected shapes: adaptive speedups above 1 for most queries with the
+join-heavy (q8, q9) and IN-heavy (q19, q22) queries among the clearer
+ratio reductions; the adaptive HT/IMC ratios uniformly at or below the
+OS's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.metrics import geometric_mean
+from ..analysis.report import render_table
+from ..workloads.phases import mixed_phases_stream
+from ..workloads.tpch.queries import QUERY_NAMES
+from .common import build_system
+
+MODES = (None, "dense", "sparse", "adaptive")
+
+
+@dataclass
+class Fig19Run:
+    """One configuration's per-query series."""
+
+    mean_latency: dict[str, float] = field(default_factory=dict)
+    ht_imc_ratio: dict[str, float] = field(default_factory=dict)
+    makespan: float = 0.0
+    throughput: float = 0.0
+
+
+@dataclass
+class Fig19Result:
+    """Runs per (engine, mode label)."""
+
+    engine: str
+    runs: dict[str, Fig19Run] = field(default_factory=dict)
+
+    def speedup(self, query: str, mode: str = "adaptive") -> float:
+        """OS-over-mode latency ratio for one query (>1 = mode faster)."""
+        baseline = self.runs["OS"].mean_latency.get(query, 0.0)
+        improved = self.runs[mode].mean_latency.get(query, 0.0)
+        if baseline <= 0 or improved <= 0:
+            return 1.0
+        return baseline / improved
+
+    def mean_speedup(self, mode: str = "adaptive") -> float:
+        """Geometric-mean per-query speedup of one mode."""
+        values = [self.speedup(q, mode) for q in QUERY_NAMES
+                  if self.runs["OS"].mean_latency.get(q, 0.0) > 0
+                  and self.runs[mode].mean_latency.get(q, 0.0) > 0]
+        return geometric_mean(values) if values else 1.0
+
+    def ratio_reduction(self, query: str,
+                        mode: str = "adaptive") -> float:
+        """How many times smaller the mode's HT/IMC ratio is."""
+        baseline = self.runs["OS"].ht_imc_ratio.get(query, 0.0)
+        improved = self.runs[mode].ht_imc_ratio.get(query, 0.0)
+        if baseline <= 0 or improved <= 0:
+            return 1.0
+        return baseline / improved
+
+    def rows(self) -> list[list[object]]:
+        """One row per query: latencies, ratios, adaptive speedup."""
+        out: list[list[object]] = []
+        for query in QUERY_NAMES:
+            os_run = self.runs["OS"]
+            ad_run = self.runs["adaptive"]
+            if query not in os_run.mean_latency:
+                continue
+            out.append([
+                query,
+                os_run.mean_latency.get(query, 0.0),
+                ad_run.mean_latency.get(query, 0.0),
+                self.speedup(query),
+                os_run.ht_imc_ratio.get(query, 0.0),
+                ad_run.ht_imc_ratio.get(query, 0.0),
+            ])
+        return out
+
+    def table(self) -> str:
+        """The Fig 19 per-query series as a text table."""
+        return render_table(
+            ["query", "OS lat s", "adaptive lat s", "speedup",
+             "OS HT/IMC", "adaptive HT/IMC"],
+            self.rows(),
+            title=(f"Fig 19 - mixed phases on {self.engine} "
+                   f"(mean speedup {self.mean_speedup():.2f}x)"))
+
+
+def run(engine: str = "monetdb", n_clients: int = 32,
+        queries_per_client: int = 4, scale: float = 0.01,
+        sim_scale: float = 1.0, seed: int = 7,
+        modes: tuple = MODES) -> Fig19Result:
+    """Run the mixed workload for each configuration of one engine."""
+    result = Fig19Result(engine=engine)
+    stream = mixed_phases_stream(queries_per_client, seed=seed)
+    for mode in modes:
+        sut = build_system(engine=engine, mode=mode, scale=scale,
+                           sim_scale=sim_scale)
+        sut.mark()
+        workload = sut.run_clients(n_clients, stream)
+        run_data = Fig19Run(makespan=workload.makespan,
+                            throughput=workload.throughput)
+        for query in QUERY_NAMES:
+            latencies = workload.latencies(query)
+            if latencies:
+                run_data.mean_latency[query] = \
+                    sum(latencies) / len(latencies)
+            run_data.ht_imc_ratio[query] = sut.query_ht_imc_ratio(query)
+        result.runs[mode or "OS"] = run_data
+    return result

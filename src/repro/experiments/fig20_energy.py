@@ -1,0 +1,127 @@
+"""Fig 20 — per-query energy, OS scheduler vs adaptive mode (§V-C3).
+
+Follows the paper's estimation method: CPU energy from the Average CPU
+Power rating and the measured busy time, interconnect energy from the
+counted HT bytes times an energy-per-bit figure [Wang & Lee 2015].  Both
+are attributed per query through the per-query counter families recorded
+during the mixed-phases workload.
+
+Expected shapes: every query saves energy under the adaptive mode; the HT
+component saves a much larger *fraction* than the CPU component; total
+system saving in the tens of percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.metrics import geometric_mean
+from ..analysis.report import render_table
+from ..workloads.phases import mixed_phases_stream
+from ..workloads.tpch.queries import QUERY_NAMES
+from .common import build_system
+
+
+@dataclass(frozen=True)
+class QueryEnergy:
+    """Joules attributed to one query type over a run."""
+
+    cpu_joules: float
+    ht_joules: float
+
+    @property
+    def total(self) -> float:
+        """CPU plus interconnect energy."""
+        return self.cpu_joules + self.ht_joules
+
+
+@dataclass
+class Fig20Result:
+    """Per-query energy under both configurations."""
+
+    os_energy: dict[str, QueryEnergy] = field(default_factory=dict)
+    adaptive_energy: dict[str, QueryEnergy] = field(default_factory=dict)
+
+    def saving(self, query: str) -> float:
+        """Fractional total-energy saving for one query (0..1)."""
+        base = self.os_energy.get(query)
+        improved = self.adaptive_energy.get(query)
+        if base is None or improved is None or base.total <= 0:
+            return 0.0
+        return 1.0 - improved.total / base.total
+
+    def total_saving(self) -> float:
+        """System-level fractional saving across all queries."""
+        base = sum(e.total for e in self.os_energy.values())
+        improved = sum(e.total for e in self.adaptive_energy.values())
+        if base <= 0:
+            return 0.0
+        return 1.0 - improved / base
+
+    def component_savings(self) -> tuple[float, float]:
+        """Geometric-mean per-query (CPU, HT) savings, as fractions."""
+        cpu_ratios = []
+        ht_ratios = []
+        for query in self.os_energy:
+            base = self.os_energy[query]
+            improved = self.adaptive_energy.get(query)
+            if improved is None:
+                continue
+            if base.cpu_joules > 0 and improved.cpu_joules > 0:
+                cpu_ratios.append(improved.cpu_joules / base.cpu_joules)
+            if base.ht_joules > 0 and improved.ht_joules > 0:
+                ht_ratios.append(improved.ht_joules / base.ht_joules)
+        cpu = 1.0 - geometric_mean(cpu_ratios) if cpu_ratios else 0.0
+        ht = 1.0 - geometric_mean(ht_ratios) if ht_ratios else 0.0
+        return cpu, ht
+
+    def rows(self) -> list[list[object]]:
+        """One row per query."""
+        out: list[list[object]] = []
+        for query in QUERY_NAMES:
+            if query not in self.os_energy:
+                continue
+            base = self.os_energy[query]
+            improved = self.adaptive_energy.get(
+                query, QueryEnergy(0.0, 0.0))
+            out.append([query, base.cpu_joules, base.ht_joules,
+                        improved.cpu_joules, improved.ht_joules,
+                        f"{self.saving(query):.1%}"])
+        return out
+
+    def table(self) -> str:
+        """The Fig 20 energy comparison as a text table."""
+        return render_table(
+            ["query", "OS cpu J", "OS ht J", "adp cpu J", "adp ht J",
+             "saving"],
+            self.rows(),
+            title=(f"Fig 20 - energy, OS vs adaptive "
+                   f"(total saving {self.total_saving():.1%})"))
+
+
+def _query_energy(sut, query: str) -> QueryEnergy:
+    config = sut.os.machine.config
+    busy = sut.delta("query_busy_time", query)
+    per_core_watts = config.acp_watts / config.cores_per_socket
+    ht_bytes = sut.delta("query_ht_bytes", query)
+    return QueryEnergy(
+        cpu_joules=busy * per_core_watts,
+        ht_joules=ht_bytes * 8.0 * config.ht_joules_per_bit,
+    )
+
+
+def run(n_clients: int = 32, queries_per_client: int = 4,
+        scale: float = 0.01, sim_scale: float = 1.0,
+        seed: int = 7) -> Fig20Result:
+    """Mixed-phases runs under OS and adaptive, energy per query."""
+    result = Fig20Result()
+    stream = mixed_phases_stream(queries_per_client, seed=seed)
+    for mode, sink in ((None, result.os_energy),
+                       ("adaptive", result.adaptive_energy)):
+        sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                           sim_scale=sim_scale)
+        sut.mark()
+        sut.run_clients(n_clients, stream)
+        for query in QUERY_NAMES:
+            sink[query] = _query_energy(sut, query)
+    return result

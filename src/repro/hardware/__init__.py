@@ -1,0 +1,33 @@
+"""Simulated NUMA hardware: topology, memory banks, caches, interconnect.
+
+This package plays the role of the paper's AMD Opteron 8387 testbed.  The
+central runtime object is :class:`~repro.hardware.machine.Machine`, which
+binds the static :class:`~repro.hardware.topology.Topology` to per-socket
+shared caches, per-node memory banks, the HyperTransport-style interconnect
+and a :class:`~repro.hardware.counters.CounterBank` (the likwid stand-in).
+"""
+
+from .cache import SharedCache
+from .counters import CounterBank, CounterSnapshot
+from .energy import EnergyModel, EnergyReport
+from .interconnect import Interconnect
+from .machine import AccessResult, Machine
+from .memory import MemorySystem
+from .prebuilt import opteron_8387, ring_topology, small_numa
+from .topology import Topology
+
+__all__ = [
+    "Topology",
+    "SharedCache",
+    "MemorySystem",
+    "Interconnect",
+    "CounterBank",
+    "CounterSnapshot",
+    "Machine",
+    "AccessResult",
+    "EnergyModel",
+    "EnergyReport",
+    "opteron_8387",
+    "small_numa",
+    "ring_topology",
+]

@@ -1,0 +1,89 @@
+"""Per-socket shared last-level cache, modelled at page granularity.
+
+The paper's locality effects all flow through the L3: threads that stay on
+one socket keep their working set resident; threads migrated by the OS load
+balancer arrive at a socket whose L3 does not hold their pages and must pull
+everything over the interconnect again (§II-B2, §V-A1).  A page-granular LRU
+reproduces exactly that behaviour without simulating cache lines.
+
+Private L1/L2 effects are folded into the operators' cycles-per-byte
+constants (see :mod:`repro.db.cost`); only the shared L3 is stateful.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import HardwareError
+
+
+class SharedCache:
+    """An LRU set of resident page ids with a fixed page capacity."""
+
+    def __init__(self, capacity_pages: int, socket_id: int = 0):
+        if capacity_pages < 1:
+            raise HardwareError("cache capacity must be at least one page")
+        self.capacity_pages = capacity_pages
+        self.socket_id = socket_id
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def access(self, page: int) -> bool:
+        """Touch one page.  Returns ``True`` on hit, ``False`` on miss.
+
+        A miss inserts the page, evicting the least recently used resident
+        page when the cache is full.
+        """
+        resident = self._resident
+        if page in resident:
+            resident.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(resident) >= self.capacity_pages:
+            resident.popitem(last=False)
+            self.evictions += 1
+        resident[page] = None
+        return False
+
+    def access_many(self, pages) -> tuple[int, int]:
+        """Touch pages in order; returns ``(hits, misses)``."""
+        hits = 0
+        for page in pages:
+            if self.access(page):
+                hits += 1
+        return hits, len(pages) - hits
+
+    def invalidate(self, pages) -> int:
+        """Drop specific pages (e.g. on writer invalidation); returns count."""
+        dropped = 0
+        for page in pages:
+            if self._resident.pop(page, "absent") is None:
+                dropped += 1
+        return dropped
+
+    def flush(self) -> None:
+        """Empty the cache."""
+        self._resident.clear()
+
+    def resident_pages(self) -> list[int]:
+        """Resident page ids from coldest to hottest."""
+        return list(self._resident)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of capacity currently resident."""
+        return len(self._resident) / self.capacity_pages
+
+    def hit_ratio(self) -> float:
+        """Lifetime hit ratio; 0.0 before any access."""
+        accesses = self.hits + self.misses
+        return self.hits / accesses if accesses else 0.0

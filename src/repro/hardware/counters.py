@@ -1,0 +1,108 @@
+"""Hardware-counter bank: the simulation's likwid/mpstat stand-in.
+
+Counters are cumulative floats addressed by ``(name, index)`` — e.g.
+``("l3_miss", socket)``, ``("busy_time", core)`` or a per-query family
+like ``("query_ht_bytes", "q6")`` (indexes are any hashable).  Consumers that need
+*rates over a window* (the controller's monitor, the experiment harnesses)
+take a :class:`CounterSnapshot` and later diff against a newer one, exactly
+how a real monitoring loop samples MSRs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class CounterSnapshot:
+    """Immutable copy of all counters at one instant."""
+
+    __slots__ = ("time", "_values")
+
+    def __init__(self, time: float, values: dict[tuple[str, object], float]):
+        self.time = time
+        self._values = values
+
+    def get(self, name: str, index=0) -> float:
+        """Cumulative value of one counter at snapshot time."""
+        return self._values.get((name, index), 0.0)
+
+    def total(self, name: str) -> float:
+        """Sum of one counter family across all indices."""
+        return sum(v for (n, _), v in self._values.items() if n == name)
+
+    def delta(self, earlier: "CounterSnapshot", name: str,
+              index=0) -> float:
+        """Counter increase between ``earlier`` and this snapshot."""
+        return self.get(name, index) - earlier.get(name, index)
+
+    def delta_total(self, earlier: "CounterSnapshot", name: str) -> float:
+        """Family-wide increase between ``earlier`` and this snapshot."""
+        return self.total(name) - earlier.total(name)
+
+    def rate(self, earlier: "CounterSnapshot", name: str,
+             index=0) -> float:
+        """Per-second rate of one counter over the snapshot window."""
+        dt = self.time - earlier.time
+        if dt <= 0:
+            return 0.0
+        return self.delta(earlier, name, index) / dt
+
+    def rate_total(self, earlier: "CounterSnapshot", name: str) -> float:
+        """Per-second family-wide rate over the snapshot window."""
+        dt = self.time - earlier.time
+        if dt <= 0:
+            return 0.0
+        return self.delta_total(earlier, name) / dt
+
+
+class CounterBank:
+    """Mutable cumulative counters, written by the hardware/OS models.
+
+    Well-known families used across the library:
+
+    ``l3_hit`` / ``l3_miss``
+        per-socket shared-cache outcomes (events);
+    ``imc_bytes``
+        bytes served by each node's integrated memory controller;
+    ``ht_tx_bytes``
+        bytes each node pushed onto the interconnect;
+    ``busy_time``
+        per-core seconds spent executing threads;
+    ``minor_faults``
+        per-node minor page faults;
+    ``migrations`` / ``stolen_tasks``
+        per-core scheduler activity;
+    ``tasks``
+        per-core dispatch count.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[str, object], float] = defaultdict(float)
+
+    def add(self, name: str, index, amount: float) -> None:
+        """Increase counter ``(name, index)`` by ``amount`` (>= 0)."""
+        self._values[(name, index)] += amount
+
+    def increment(self, name: str, index=0) -> None:
+        """Increase counter ``(name, index)`` by one event."""
+        self._values[(name, index)] += 1.0
+
+    def get(self, name: str, index=0) -> float:
+        """Current cumulative value of one counter."""
+        return self._values.get((name, index), 0.0)
+
+    def total(self, name: str) -> float:
+        """Sum of one counter family across all indices."""
+        return sum(v for (n, _), v in self._values.items() if n == name)
+
+    def by_index(self, name: str) -> dict:
+        """Family values keyed by index (e.g. per-socket L3 misses)."""
+        return {i: v for (n, i), v in self._values.items() if n == name}
+
+    def snapshot(self, time: float) -> CounterSnapshot:
+        """Copy all counters for windowed-rate computation."""
+        return CounterSnapshot(time, dict(self._values))
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment repetitions)."""
+        self._values.clear()

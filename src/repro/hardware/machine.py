@@ -1,0 +1,174 @@
+"""Runtime machine: wires topology, caches, memory, interconnect, counters.
+
+The single hot-path entry point is :meth:`Machine.touch` — the OS scheduler
+calls it for every execution chunk with the set of pages the running thread
+streams through.  It resolves each page against the executing socket's L3,
+charges DRAM/interconnect time for misses, and writes every likwid-style
+counter the controller and the experiment harnesses later read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..errors import HardwareError
+from .cache import SharedCache
+from .counters import CounterBank
+from .interconnect import FifoChannel, Interconnect
+from .memory import UNPLACED, MemorySystem
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one :meth:`Machine.touch` call."""
+
+    stall_time: float
+    hits: int
+    misses: int
+    remote_misses: int
+    bytes_local: int
+    bytes_remote: int
+
+    @property
+    def bytes_total(self) -> int:
+        """All bytes pulled from DRAM (local and remote)."""
+        return self.bytes_local + self.bytes_remote
+
+
+class Machine:
+    """A live NUMA machine instance for one simulation run."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 topology: Topology | None = None):
+        if topology is None:
+            topology = Topology(config or MachineConfig())
+        elif config is not None and topology.config is not config:
+            raise HardwareError("pass either config or topology, not both")
+        self.topology = topology
+        self.config = topology.config
+        self.counters = CounterBank()
+        self.memory = MemorySystem(topology)
+        self.interconnect = Interconnect(topology, self.counters)
+        self.caches = [
+            SharedCache(self.config.l3_pages, socket_id=s)
+            for s in topology.all_nodes()
+        ]
+        # per-bank FIFO channels: threads sharing one memory bank queue for
+        # its bandwidth (the effect that lets the paper's adaptive mode
+        # "exploit the memory bandwidth of all sockets" and that bounds
+        # p(nalloc), making a local optimum exist)
+        self.banks = [FifoChannel(self.config.dram_bandwidth)
+                      for _ in topology.all_nodes()]
+        # latency-bound seconds per page miss: lines/page divided by the
+        # core's miss-level parallelism, times the DRAM latency
+        cfg = self.config
+        lines = cfg.page_bytes / cfg.cache_line_bytes
+        self._latency_per_page = (lines / cfg.memory_parallelism
+                                  * cfg.dram_latency)
+
+    def bank_backlog(self, node: int, now: float) -> float:
+        """Seconds of reserved work queued at one bank."""
+        return self.banks[node].backlog(now)
+
+    def node_of_core(self, core_id: int) -> int:
+        """Convenience passthrough to the topology."""
+        return self.topology.node_of_core(core_id)
+
+    def touch(self, now: float, core_id: int,
+              pages: Sequence[int]) -> AccessResult:
+        """Stream ``pages`` from core ``core_id``; returns stalls/counters.
+
+        Every page must already have a home node — the OS virtual-memory
+        layer performs first-touch placement *before* handing work to the
+        hardware (see :class:`repro.opsys.vm.VirtualMemory`).
+
+        Fetches within one call pipeline: bandwidth reservations at banks
+        and links overlap (the batch stalls until the *last* completion),
+        while the requester-side line-latency term accumulates per page.
+        """
+        socket = self.topology.node_of_core(core_id)
+        cache = self.caches[socket]
+        memory = self.memory
+        page_bytes = memory.page_bytes
+        config = self.config
+
+        latency_stall = 0.0
+        batch_done = now
+        hits = 0
+        remote_misses = 0
+        bytes_local = 0
+        bytes_remote = 0
+
+        for page in pages:
+            if cache.access(page):
+                hits += 1
+                continue
+            home = memory.home(page)
+            if home == UNPLACED:
+                raise HardwareError(
+                    f"page {page} touched before first-touch placement")
+            self.counters.add("imc_bytes", home, page_bytes)
+            bank_done = self.banks[home].reserve(now, page_bytes)
+            if home == socket:
+                bytes_local += page_bytes
+                done = bank_done
+                latency_stall += self._latency_per_page
+            else:
+                bytes_remote += page_bytes
+                remote_misses += 1
+                hops = self.topology.distance(home, socket)
+                # remote miss: read from the home bank, cross the fabric,
+                # and stall the requester for the extra line latency
+                done = self.interconnect.transfer(
+                    bank_done, home, socket, page_bytes)
+                latency_stall += (self._latency_per_page
+                                  * (config.remote_penalty ** hops))
+            if done > batch_done:
+                batch_done = done
+        stall = (batch_done - now) + latency_stall
+
+        misses = len(pages) - hits
+        self.counters.add("l3_hit", socket, hits)
+        self.counters.add("l3_miss", socket, misses)
+        return AccessResult(
+            stall_time=stall,
+            hits=hits,
+            misses=misses,
+            remote_misses=remote_misses,
+            bytes_local=bytes_local,
+            bytes_remote=bytes_remote,
+        )
+
+    def touch_write(self, now: float, core_id: int,
+                    pages: Sequence[int]) -> AccessResult:
+        """Like :meth:`touch`, for written pages: writing a page also
+        **invalidates** it in every other socket's L3 (the coherence
+        traffic the paper's introduction blames on threads "sharing the
+        same cache memory" being split across nodes).  Invalidations are
+        counted per victim socket as ``l3_invalidations``."""
+        socket = self.topology.node_of_core(core_id)
+        for other, cache in enumerate(self.caches):
+            if other == socket:
+                continue
+            dropped = cache.invalidate(pages)
+            if dropped:
+                self.counters.add("l3_invalidations", other, dropped)
+        return self.touch(now, core_id, pages)
+
+    def account_busy(self, core_id: int, seconds: float) -> None:
+        """Record core busy time (the mpstat source)."""
+        if seconds < 0:
+            raise HardwareError("busy time cannot be negative")
+        self.counters.add("busy_time", core_id, seconds)
+
+    def flush_caches(self) -> None:
+        """Empty every L3 (used between experiment repetitions)."""
+        for cache in self.caches:
+            cache.flush()
+
+    def compute_time(self, cycles: float) -> float:
+        """Seconds a core needs to retire ``cycles`` of pure compute."""
+        return cycles / self.config.frequency_hz

@@ -1,0 +1,99 @@
+"""Per-node memory banks and the global page space.
+
+Pages are identified by dense global integers handed out by
+:meth:`MemorySystem.allocate`.  A page has no *home node* until it is
+**placed** — placement is the hardware half of the OS first-touch policy
+(:mod:`repro.opsys.vm` decides *where*, this module records it and tracks
+bank occupancy).
+
+The per-node byte counters written during accesses (``imc_bytes``) live in
+the shared :class:`~repro.hardware.counters.CounterBank`, wired in by
+:class:`~repro.hardware.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import HardwareError
+from .topology import Topology
+
+UNPLACED = -1
+
+
+class MemorySystem:
+    """Page-space bookkeeping for every memory bank of the machine."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.page_bytes = topology.config.page_bytes
+        self.bank_pages = topology.config.dram_bytes // self.page_bytes
+        self._next_page = 0
+        self._home: dict[int, int] = {}
+        self._pages_per_node = [0] * topology.n_sockets
+
+    def allocate(self, n_pages: int) -> range:
+        """Reserve ``n_pages`` fresh, unplaced page ids."""
+        if n_pages < 0:
+            raise HardwareError("cannot allocate a negative page count")
+        start = self._next_page
+        self._next_page += n_pages
+        return range(start, self._next_page)
+
+    def allocate_bytes(self, n_bytes: int) -> range:
+        """Reserve enough pages to hold ``n_bytes``."""
+        n_pages = -(-max(n_bytes, 0) // self.page_bytes)
+        return self.allocate(n_pages)
+
+    def is_allocated(self, page: int) -> bool:
+        """Whether ``page`` was ever handed out by :meth:`allocate`."""
+        return 0 <= page < self._next_page
+
+    def place(self, page: int, node: int) -> None:
+        """Assign ``page`` a home node (first touch).  Idempotent-checked."""
+        if not self.is_allocated(page):
+            raise HardwareError(f"page {page} was never allocated")
+        if page in self._home:
+            raise HardwareError(f"page {page} already placed")
+        if not 0 <= node < self.topology.n_sockets:
+            raise HardwareError(f"node {node} out of range")
+        if self._pages_per_node[node] >= self.bank_pages:
+            raise HardwareError(f"memory bank of node {node} is full")
+        self._home[page] = node
+        self._pages_per_node[node] += 1
+
+    def home(self, page: int) -> int:
+        """Home node of ``page``, or :data:`UNPLACED` when not yet touched."""
+        return self._home.get(page, UNPLACED)
+
+    def is_placed(self, page: int) -> bool:
+        """Whether ``page`` already has a home node."""
+        return page in self._home
+
+    def free(self, pages: Iterable[int]) -> None:
+        """Return pages to the system (intermediates being dropped)."""
+        for page in pages:
+            node = self._home.pop(page, UNPLACED)
+            if node != UNPLACED:
+                self._pages_per_node[node] -= 1
+
+    def pages_on_node(self, node: int) -> int:
+        """Number of placed pages homed on ``node``."""
+        return self._pages_per_node[node]
+
+    def placement_histogram(self) -> list[int]:
+        """Placed page counts per node, indexed by node id."""
+        return list(self._pages_per_node)
+
+    def pages_of(self, pages: Iterable[int]) -> dict[int, int]:
+        """Histogram (node -> count) of where the given pages live.
+
+        Unplaced pages are reported under :data:`UNPLACED`.  This is the
+        primitive behind the adaptive mode's priority queue (§IV-B2): the
+        mechanism asks where a thread's address space resides.
+        """
+        histogram: dict[int, int] = {}
+        for page in pages:
+            node = self._home.get(page, UNPLACED)
+            histogram[node] = histogram.get(node, 0) + 1
+        return histogram

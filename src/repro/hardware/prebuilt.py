@@ -1,0 +1,54 @@
+"""Factory functions for reference machine configurations."""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..units import ghz, kib, mib
+
+
+def opteron_8387(**overrides) -> MachineConfig:
+    """The paper's testbed: 4 sockets x 4 cores AMD Opteron 8387, 2.8 GHz,
+    6 MB shared L3 per socket, DDR-2 banks, HyperTransport 3.x at 41.6 GB/s
+    aggregate (Fig 2 / §V).
+
+    Keyword overrides are forwarded to :class:`MachineConfig`, so an
+    experiment can, e.g., shrink the L3 to stress capacity effects.
+    """
+    defaults = dict(
+        n_sockets=4,
+        cores_per_socket=4,
+        frequency_hz=ghz(2.8),
+        l3_bytes=mib(6),
+    )
+    defaults.update(overrides)
+    return MachineConfig(**defaults)
+
+
+def ring_topology(config: MachineConfig) -> "Topology":
+    """A ring interconnect: distance = hop count around the shorter arc.
+
+    The paper's Opteron is fully connected; larger NUMA boxes (8+
+    sockets) often are not.  A ring makes multi-hop penalties visible
+    and is used by the what-if studies and the topology tests.
+    """
+    from .topology import Topology
+
+    n = config.n_sockets
+    distance = [[min((i - j) % n, (j - i) % n) for j in range(n)]
+                for i in range(n)]
+    return Topology(config, distance=distance)
+
+
+def small_numa(**overrides) -> MachineConfig:
+    """A 2x2 toy machine with a tiny L3, sized so unit tests exercise cache
+    evictions and remote traffic with only a handful of pages."""
+    defaults = dict(
+        n_sockets=2,
+        cores_per_socket=2,
+        frequency_hz=ghz(2.0),
+        page_bytes=kib(64),
+        l3_bytes=kib(512),
+        dram_bytes=mib(256),
+    )
+    defaults.update(overrides)
+    return MachineConfig(**defaults)

@@ -1,0 +1,84 @@
+"""Static NUMA topology: sockets, cores and the inter-node distance matrix.
+
+Core ids are global and dense: node ``i`` owns cores
+``[i * cores_per_socket, (i + 1) * cores_per_socket)``.  This matches the
+paper's allocation-mode arithmetic ``core(i, j) = d*i + j`` (§IV-B1).
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import HardwareError
+
+
+class Topology:
+    """Geometry of a NUMA machine, derived from a :class:`MachineConfig`.
+
+    The distance matrix models a fully connected HyperTransport fabric:
+    distance 0 to the local node, 1 to every remote node.  A custom matrix
+    (e.g. a ring with multi-hop distances) can be supplied for what-if
+    studies.
+    """
+
+    def __init__(self, config: MachineConfig,
+                 distance: list[list[int]] | None = None):
+        self.config = config
+        self.n_sockets = config.n_sockets
+        self.cores_per_socket = config.cores_per_socket
+        self.n_cores = config.n_cores
+        if distance is None:
+            distance = [
+                [0 if i == j else 1 for j in range(self.n_sockets)]
+                for i in range(self.n_sockets)
+            ]
+        self._validate_distance(distance)
+        self._distance = distance
+
+    def _validate_distance(self, distance: list[list[int]]) -> None:
+        if len(distance) != self.n_sockets:
+            raise HardwareError("distance matrix must be n_sockets square")
+        for i, row in enumerate(distance):
+            if len(row) != self.n_sockets:
+                raise HardwareError("distance matrix must be square")
+            if row[i] != 0:
+                raise HardwareError("self-distance must be zero")
+            for j, hops in enumerate(row):
+                if i != j and hops < 1:
+                    raise HardwareError("remote distance must be >= 1")
+                if hops != distance[j][i]:
+                    raise HardwareError("distance matrix must be symmetric")
+
+    def node_of_core(self, core_id: int) -> int:
+        """NUMA node owning ``core_id``."""
+        if not 0 <= core_id < self.n_cores:
+            raise HardwareError(f"core {core_id} out of range")
+        return core_id // self.cores_per_socket
+
+    def cores_of_node(self, node_id: int) -> range:
+        """Global core ids belonging to ``node_id``, in order."""
+        if not 0 <= node_id < self.n_sockets:
+            raise HardwareError(f"node {node_id} out of range")
+        base = node_id * self.cores_per_socket
+        return range(base, base + self.cores_per_socket)
+
+    def core(self, node_id: int, local_index: int) -> int:
+        """The paper's ``core(i, j) = d*i + j`` mapping (0-based ``j``)."""
+        if not 0 <= local_index < self.cores_per_socket:
+            raise HardwareError(f"local core index {local_index} out of range")
+        return self.cores_of_node(node_id)[local_index]
+
+    def distance(self, node_a: int, node_b: int) -> int:
+        """Hop count between two nodes (0 when equal)."""
+        return self._distance[node_a][node_b]
+
+    def all_cores(self) -> range:
+        """Every global core id."""
+        return range(self.n_cores)
+
+    def all_nodes(self) -> range:
+        """Every node id."""
+        return range(self.n_sockets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Topology {self.n_sockets} sockets x "
+                f"{self.cores_per_socket} cores>")

@@ -1,0 +1,472 @@
+"""CFS-style per-core scheduler with load balancing and task stealing.
+
+This is the OS behaviour the paper studies (§II):
+
+* per-core run queues; the head runs for one quantum, then round-robins;
+* **wake-up spreading** — new and woken threads are placed on the least
+  loaded *allowed* core anywhere in the machine, which is what scatters
+  MonetDB's workers across NUMA nodes;
+* a periodic **load balancer** that steals waiting tasks from the busiest
+  core for the idlest one, oblivious to where the stolen thread's data
+  lives (the "stolen tasks" metric of Fig 13d);
+* **cpuset enforcement** — the elastic mechanism edits the mask and the
+  scheduler evicts threads from released cores at their next chunk boundary.
+
+Pinned threads (the NUMA-aware engine's workers) are placed on their pinned
+core when it is allowed and are never stolen by the balancer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..config import SchedulerConfig
+from ..errors import SchedulerError
+from ..hardware.machine import Machine
+from ..sim.engine import Simulator
+from ..sim.tracing import (MigrationRecord, PlacementRecord, StageRecord,
+                           TraceRecorder)
+from .cpuset import CpuSet
+from .thread import SimThread, ThreadState
+from .vm import VirtualMemory
+from .workitem import WorkItem
+
+
+def _merge_access(a, b):
+    """Combine two AccessResults from one chunk (reads then writes)."""
+    from ..hardware.machine import AccessResult
+
+    return AccessResult(
+        stall_time=a.stall_time + b.stall_time,
+        hits=a.hits + b.hits,
+        misses=a.misses + b.misses,
+        remote_misses=a.remote_misses + b.remote_misses,
+        bytes_local=a.bytes_local + b.bytes_local,
+        bytes_remote=a.bytes_remote + b.bytes_remote,
+    )
+
+
+class Scheduler:
+    """The simulated kernel scheduler for one machine."""
+
+    def __init__(self, sim: Simulator, machine: Machine, vm: VirtualMemory,
+                 cpuset: CpuSet, config: SchedulerConfig | None = None,
+                 tracer: TraceRecorder | None = None):
+        self.sim = sim
+        self.machine = machine
+        self.vm = vm
+        self.cpuset = cpuset
+        self.config = config or SchedulerConfig()
+        self.tracer = tracer if tracer is not None else TraceRecorder()
+        n_cores = machine.topology.n_cores
+        if cpuset.n_cores != n_cores:
+            raise SchedulerError("cpuset size does not match the machine")
+        self._queues: list[deque[SimThread]] = [deque()
+                                                for _ in range(n_cores)]
+        self._running: list[SimThread | None] = [None] * n_cores
+        self._last_ran: list[SimThread | None] = [None] * n_cores
+        self._live_threads = 0
+        #: live (admitted, not yet exited) threads — the PID table the
+        #: adaptive mode's priority queue walks
+        self.threads: set[SimThread] = set()
+        self._balance_scheduled = False
+        # precompute per-page time estimate pieces for chunk sizing
+        cfg = machine.config
+        self._freq = cfg.frequency_hz
+        lines = cfg.page_bytes / cfg.cache_line_bytes
+        self._page_stream_time = (
+            cfg.page_bytes / cfg.dram_bandwidth
+            + lines / cfg.memory_parallelism * cfg.dram_latency)
+        cpuset.subscribe(self._on_mask_change)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def spawn(self, thread: SimThread) -> None:
+        """Admit a new thread and place it."""
+        thread.require_state(ThreadState.NEW)
+        thread.state = ThreadState.READY
+        thread.spawned_at = self.sim.now
+        self._live_threads += 1
+        self.threads.add(thread)
+        self._ensure_balancer()
+        core = self._choose_core(thread)
+        self._enqueue(thread, core)
+
+    def wake(self, thread: SimThread) -> None:
+        """Unblock a thread whose work source produced new items."""
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        thread.state = ThreadState.READY
+        core = self._choose_core(thread)
+        prev = thread.core
+        if prev is not None and prev != core:
+            self._note_migration(thread, prev, core, stolen=False)
+        self._enqueue(thread, core)
+
+    def live_threads(self) -> int:
+        """Threads admitted and not yet exited (incl. blocked)."""
+        return self._live_threads
+
+    def core_load(self, core: int) -> int:
+        """Queue length of ``core`` including the running thread."""
+        return len(self._queues[core]) + (self._running[core] is not None)
+
+    def runnable_threads(self) -> int:
+        """Ready or running threads across all cores."""
+        return sum(len(q) for q in self._queues) + sum(
+            1 for t in self._running if t is not None)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def _choose_core(self, thread: SimThread) -> int:
+        if thread.managed:
+            allowed = self.cpuset.allowed_sorted()
+        else:
+            # other applications are not confined by the DB cgroup
+            allowed = list(self.machine.topology.all_cores())
+        if thread.pinned_core is not None:
+            if self.cpuset.is_allowed(thread.pinned_core):
+                return thread.pinned_core
+            # pinned core was released: prefer a sibling on the same node
+            node = self.machine.topology.node_of_core(thread.pinned_core)
+            siblings = [c for c in allowed
+                        if self.machine.topology.node_of_core(c) == node]
+            if siblings:
+                allowed = siblings
+        elif thread.pinned_node is not None:
+            # soft NUMA affinity: least-loaded allowed core of the node —
+            # but relaxed when the node is congested relative to the rest
+            # of the mask ("less effort to maintain coherence of such
+            # association" under a shrunken mask, paper §V-C1)
+            siblings = [c for c in allowed
+                        if self.machine.topology.node_of_core(c)
+                        == thread.pinned_node]
+            if siblings:
+                best_local = min(self.core_load(c) for c in siblings)
+                best_global = min(self.core_load(c) for c in allowed)
+                congested = (best_local
+                             >= best_global
+                             + self.config.imbalance_threshold)
+                if not congested:
+                    allowed = siblings
+        elif not self.config.wakeup_spread and thread.core is not None:
+            if self.cpuset.is_allowed(thread.core):
+                return thread.core
+        return min(allowed, key=lambda c: (self.core_load(c), c))
+
+    def _enqueue(self, thread: SimThread, core: int) -> None:
+        thread.core = core
+        self._queues[core].append(thread)
+        self._dispatch(core)
+
+    # ------------------------------------------------------------------
+    # dispatch / execution
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, core: int) -> None:
+        if self._running[core] is not None:
+            return
+        queue = self._queues[core]
+        while queue:
+            thread = queue.popleft()
+            item = thread.acquire_item()
+            if item is None:
+                if thread.source.finished:
+                    self._exit(thread)
+                else:
+                    self._block(thread)
+                continue
+            self._start_chunk(core, thread, item)
+            return
+        self._idle_pull(core)
+
+    def _idle_pull(self, core: int) -> None:
+        """New-idle balancing: a core going idle pulls a waiting thread
+        from the busiest queue (CFS's newidle path).  Core-pinned threads
+        never move; node-affined threads prefer their node but are pulled
+        across nodes when the donor queue is long (the affinity
+        relaxation under congestion).  A core outside the DB cpuset may
+        only pull *unmanaged* threads (other applications)."""
+        topo = self.machine.topology
+        my_node = topo.node_of_core(core)
+        in_mask = self.cpuset.is_allowed(core)
+        donors = sorted((c for c in topo.all_cores() if c != core),
+                        key=lambda c: -len(self._queues[c]))
+        for donor in donors:
+            queue = self._queues[donor]
+            if not queue:
+                break
+            cross_node_ok = (len(queue)
+                             >= self.config.imbalance_threshold)
+            for thread in queue:
+                if thread.pinned_core is not None:
+                    continue
+                if thread.managed and not in_mask:
+                    continue
+                if thread.pinned_node is not None:
+                    same_node = thread.pinned_node == my_node
+                    if not same_node and not cross_node_ok:
+                        continue
+                queue.remove(thread)
+                self.machine.counters.increment("stolen_tasks", core)
+                self._note_migration(thread, donor, core, stolen=True)
+                thread.core = core
+                self._queues[core].append(thread)
+                self._dispatch(core)
+                return
+
+    def _start_chunk(self, core: int, thread: SimThread,
+                     item: WorkItem) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.core = core
+        thread.dispatches += 1
+        self._running[core] = thread
+        self.machine.counters.increment("tasks", core)
+        if self._last_ran[core] is not thread:
+            self._last_ran[core] = thread
+            thread.pending_stall += self.config.context_switch_cost
+        if item.started_at is None:
+            item.started_at = self.sim.now
+        if thread._last_placed_core != core:
+            thread._last_placed_core = core
+            self.tracer.emit(PlacementRecord(
+                time=self.sim.now, thread_id=thread.tid, core_id=core,
+                node_id=self.machine.topology.node_of_core(core)))
+        elapsed, useful = self._execute(thread, item, core)
+        self.sim.schedule(elapsed, self._chunk_done, core, thread, item,
+                          elapsed, useful)
+
+    def _execute(self, thread: SimThread, item: WorkItem,
+                 core: int) -> tuple[float, float]:
+        """Run up to one quantum of ``item`` on ``core``.
+
+        Returns ``(elapsed, useful)`` — wall seconds consumed and the
+        retired-compute share of them (memory stalls excluded).  The
+        useful share feeds the ``useful_time`` counter, the basis of the
+        controller's load metric.
+        """
+        machine = self.machine
+        node = machine.topology.node_of_core(core)
+        budget = self.config.quantum
+        now = self.sim.now
+        elapsed = thread.pending_stall
+        useful = 0.0
+        thread.pending_stall = 0.0
+
+        cpp = item.cycles_per_page()
+        page_time_est = cpp / self._freq + self._page_stream_time
+        # guarantee progress: even when carried-over stalls (migration,
+        # context switch) exceed the quantum, the chunk still retires at
+        # least one slice of work — otherwise two threads alternating on
+        # one core could livelock on switch costs alone
+        first_slice = True
+        while (first_slice or elapsed < budget) and not item.done:
+            first_slice = False
+            if item.remaining_pages:
+                want = int((budget - elapsed) / page_time_est) + 1
+                want = min(max(want, 1), item.remaining_pages)
+                batch = list(item.take_reads(want))
+                writes_from = len(batch)
+                if len(batch) < want:
+                    batch.extend(item.take_writes(want - len(batch)))
+                faults = self.vm.touch_pages(batch, node, thread)
+                if writes_from < len(batch):
+                    read_result = machine.touch(now, core,
+                                                batch[:writes_from])                         if writes_from else None
+                    write_result = machine.touch_write(
+                        now, core, batch[writes_from:])
+                    result = (write_result if read_result is None
+                              else _merge_access(read_result,
+                                                 write_result))
+                else:
+                    result = machine.touch(now, core, batch)
+                item.retire_cycles(len(batch) * cpp)
+                compute = len(batch) * cpp / self._freq
+                useful += compute
+                elapsed += (result.stall_time + compute
+                            + faults * self.config.minor_fault_cost)
+                if item.query_name:
+                    counters = machine.counters
+                    counters.add("query_ht_bytes", item.query_name,
+                                 result.bytes_remote)
+                    counters.add("query_imc_bytes", item.query_name,
+                                 result.bytes_total)
+                    counters.add("query_l3_miss", item.query_name,
+                                 result.misses)
+            else:
+                # trailing (or pure) compute
+                need = item.remaining_cycles / self._freq
+                run = min(need, max(budget - elapsed, budget * 0.25))
+                if run <= 0:
+                    break
+                item.retire_cycles(run * self._freq + 1e-3)
+                useful += run
+                elapsed += run
+        # floats: make sure an item with no pages left ends cleanly
+        if item.remaining_pages == 0 and item.remaining_cycles < 1.0:
+            item.force_complete_cycles()
+        return max(elapsed, 1e-9), useful
+
+    def _chunk_done(self, core: int, thread: SimThread, item: WorkItem,
+                    elapsed: float, useful: float) -> None:
+        self.machine.account_busy(core, elapsed)
+        self.machine.counters.add("useful_time", core, useful)
+        if item.query_name:
+            self.machine.counters.add("query_busy_time", item.query_name,
+                                      elapsed)
+        self._running[core] = None
+        if item.done:
+            thread.current_item = None
+            if item.started_at is not None:
+                self.tracer.emit(StageRecord(
+                    time=self.sim.now, thread_id=thread.tid,
+                    query_name=item.query_name, operator=item.label,
+                    start_time=item.started_at,
+                    elapsed=self.sim.now - item.started_at, core_id=core))
+            if item.on_complete is not None:
+                item.on_complete(item)
+        thread.state = ThreadState.READY
+        target = core
+        if thread.managed and not self.cpuset.is_allowed(core):
+            target = self._choose_core(thread)
+            self._note_migration(thread, core, target, stolen=False)
+        self._queues[target].append(thread)
+        thread.core = target
+        if target != core:
+            self._dispatch(target)
+        self._dispatch(core)
+
+    # ------------------------------------------------------------------
+    # blocking / exit
+    # ------------------------------------------------------------------
+
+    def _block(self, thread: SimThread) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.source.register_waiter(thread)
+
+    def _exit(self, thread: SimThread) -> None:
+        thread.state = ThreadState.DONE
+        thread.exited_at = self.sim.now
+        self._live_threads -= 1
+        self.threads.discard(thread)
+        if thread.on_exit is not None:
+            thread.on_exit(thread)
+
+    # ------------------------------------------------------------------
+    # load balancing
+    # ------------------------------------------------------------------
+
+    def _ensure_balancer(self) -> None:
+        if not self._balance_scheduled:
+            self._balance_scheduled = True
+            self.sim.schedule(self.config.balance_interval, self._balance)
+
+    def _balance(self) -> None:
+        self._balance_scheduled = False
+        if self._live_threads == 0:
+            return
+        allowed = self.cpuset.allowed_sorted()
+        if len(allowed) > 1:
+            for _ in range(len(allowed)):
+                if not self._steal_once(allowed):
+                    break
+            # second pass: node-affined threads may move within their node
+            for node in self.machine.topology.all_nodes():
+                siblings = [c for c in allowed
+                            if self.machine.topology.node_of_core(c)
+                            == node]
+                if len(siblings) > 1:
+                    for _ in range(len(siblings)):
+                        if not self._steal_within_node(node, siblings):
+                            break
+        self._ensure_balancer()
+
+    def _steal_within_node(self, node: int,
+                           siblings: list[int]) -> bool:
+        donors = [c for c in siblings
+                  if any(t.pinned_core is None for t in self._queues[c])]
+        if not donors:
+            return False
+        busiest = max(donors, key=lambda c: (self.core_load(c), -c))
+        idlest = min(siblings, key=lambda c: (self.core_load(c), c))
+        gap = self.core_load(busiest) - self.core_load(idlest)
+        if busiest == idlest or gap < self.config.imbalance_threshold:
+            return False
+        queue = self._queues[busiest]
+        victim = None
+        for candidate in reversed(queue):
+            if candidate.pinned_core is None:
+                victim = candidate
+                break
+        if victim is None:
+            return False
+        queue.remove(victim)
+        self.machine.counters.increment("stolen_tasks", idlest)
+        self._note_migration(victim, busiest, idlest, stolen=True)
+        victim.core = idlest
+        self._queues[idlest].append(victim)
+        self._dispatch(idlest)
+        return True
+
+    def _steal_once(self, allowed: list[int]) -> bool:
+        donors = [c for c in allowed
+                  if any(not t.is_pinned() for t in self._queues[c])]
+        if not donors:
+            return False
+        busiest = max(donors, key=lambda c: (self.core_load(c), -c))
+        idlest = min(allowed, key=lambda c: (self.core_load(c), c))
+        gap = self.core_load(busiest) - self.core_load(idlest)
+        if busiest == idlest or gap < self.config.imbalance_threshold:
+            return False
+        queue = self._queues[busiest]
+        victim = None
+        for candidate in reversed(queue):
+            if not candidate.is_pinned():
+                victim = candidate
+                break
+        if victim is None:
+            return False
+        queue.remove(victim)
+        self.machine.counters.increment("stolen_tasks", idlest)
+        self._note_migration(victim, busiest, idlest, stolen=True)
+        victim.core = idlest
+        self._queues[idlest].append(victim)
+        self._dispatch(idlest)
+        return True
+
+    # ------------------------------------------------------------------
+    # cpuset enforcement
+    # ------------------------------------------------------------------
+
+    def _on_mask_change(self, added: set[int], removed: set[int]) -> None:
+        for core in removed:
+            queue = self._queues[core]
+            evicted = [t for t in queue if t.managed]
+            for thread in evicted:
+                queue.remove(thread)
+            for thread in evicted:
+                target = self._choose_core(thread)
+                self._note_migration(thread, core, target, stolen=False)
+                self._enqueue(thread, target)
+        # newly added cores pull work immediately (new-idle balancing)
+        for core in added:
+            self._dispatch(core)
+        if added and self._live_threads:
+            self._ensure_balancer()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_migration(self, thread: SimThread, src: int, dst: int,
+                        stolen: bool) -> None:
+        thread.migrations += 1
+        thread.pending_stall += self.config.migration_cost
+        self.machine.counters.increment("migrations", dst)
+        self.tracer.emit(MigrationRecord(
+            time=self.sim.now, thread_id=thread.tid, src_core=src,
+            dst_core=dst, stolen=stolen))

@@ -1,0 +1,81 @@
+"""The OperatingSystem facade: one object wiring machine, VM and scheduler.
+
+Database engines and workloads are written against this class rather than
+the individual parts.  It owns the simulator clock, the cpuset (initially
+exposing every core, like an unmanaged Linux box), and exposes convenience
+constructors for threads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..config import MachineConfig, SchedulerConfig
+from ..hardware.machine import Machine
+from ..sim.engine import Simulator
+from ..sim.tracing import TraceRecorder
+from .cpuset import CpuSet
+from .loadstats import LoadSampler
+from .scheduler import Scheduler
+from .thread import SimThread, WorkSource
+from .vm import VirtualMemory
+
+
+class OperatingSystem:
+    """A booted simulated machine: hardware + kernel, ready to run threads."""
+
+    def __init__(self, machine_config: MachineConfig | None = None,
+                 scheduler_config: SchedulerConfig | None = None,
+                 initial_mask: Iterable[int] | None = None,
+                 tracer: TraceRecorder | None = None,
+                 sim: Simulator | None = None):
+        self.sim = sim if sim is not None else Simulator()
+        self.machine = Machine(machine_config or MachineConfig())
+        self.tracer = tracer if tracer is not None else TraceRecorder()
+        self.cpuset = CpuSet(self.machine.topology.n_cores, initial_mask)
+        sched_cfg = scheduler_config or SchedulerConfig()
+        self.vm = VirtualMemory(
+            self.machine, numa_balancing=sched_cfg.numa_balancing,
+            migration_streak=sched_cfg.numa_migration_streak)
+        self.scheduler = Scheduler(self.sim, self.machine, self.vm,
+                                   self.cpuset, sched_cfg, self.tracer)
+        self.load_sampler = LoadSampler(self.machine, self.cpuset)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    @property
+    def topology(self):
+        """The machine topology (shortcut)."""
+        return self.machine.topology
+
+    @property
+    def counters(self):
+        """The hardware counter bank (shortcut)."""
+        return self.machine.counters
+
+    def spawn_thread(self, source: WorkSource, name: str = "",
+                     process_id: int = 0, pinned_core: int | None = None,
+                     pinned_node: int | None = None, managed: bool = True,
+                     on_exit=None) -> SimThread:
+        """Create and admit a thread in one call."""
+        thread = SimThread(source, name=name, process_id=process_id,
+                           pinned_core=pinned_core,
+                           pinned_node=pinned_node, managed=managed,
+                           on_exit=on_exit)
+        self.scheduler.spawn(thread)
+        return thread
+
+    def wake(self, thread: SimThread) -> None:
+        """Unblock a thread (work sources call this when items appear)."""
+        self.scheduler.wake(thread)
+
+    def run(self, until: float | None = None) -> int:
+        """Drive the simulation; see :meth:`repro.sim.Simulator.run`."""
+        return self.sim.run(until=until)
+
+    def run_until_idle(self) -> int:
+        """Drive the simulation until no events remain."""
+        return self.sim.run_until_idle()

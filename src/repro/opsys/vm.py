@@ -1,0 +1,126 @@
+"""Virtual-memory layer: first-touch placement and minor-fault accounting.
+
+The paper leans on two kernel behaviours (§II-A/B):
+
+* **first touch** — the node-local policy places a page on the node of the
+  core that touches it first, raising a *minor page fault*;
+* **remote access** — when a thread on a *different* node later maps the same
+  page, another minor fault is raised and the data moves over the
+  interconnect; the paper uses the minor-fault rate as its data-movement
+  signal (Fig 4b).
+
+This module implements both, and feeds each thread's per-node residency
+histogram (the adaptive mode's raw material).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..hardware.machine import Machine
+from ..hardware.memory import UNPLACED
+from .thread import SimThread
+
+
+class VirtualMemory:
+    """First-touch policy and fault counters on top of the machine.
+
+    When ``numa_balancing`` is enabled (Linux AutoNUMA), pages that are
+    accessed from the same remote node several batches in a row are
+    migrated to that node; the mover pays the interconnect transfer and
+    a kernel cost, and the page's old cache residency is invalidated.
+    """
+
+    def __init__(self, machine: Machine, numa_balancing: bool = False,
+                 migration_streak: int = 3):
+        self.machine = machine
+        self.counters = machine.counters
+        self.numa_balancing = numa_balancing
+        self.migration_streak = migration_streak
+        # page -> bitmask of nodes that have already mapped it
+        self._mapped_by: dict[int, int] = {}
+        # AutoNUMA bookkeeping: page -> (last remote accessor, streak)
+        self._remote_streak: dict[int, tuple[int, int]] = {}
+
+    def touch_pages(self, pages: Sequence[int], node: int,
+                    thread: SimThread | None = None) -> int:
+        """Prepare ``pages`` for access from ``node``.
+
+        Unplaced pages are first-touched (placed on ``node``); already-placed
+        pages seen from a new node raise a remote-access minor fault.  The
+        number of minor faults raised is returned and counted per node.
+        """
+        memory = self.machine.memory
+        mapped_by = self._mapped_by
+        mask = 1 << node
+        faults = 0
+        for page in pages:
+            seen = mapped_by.get(page, 0)
+            if seen & mask:
+                continue
+            mapped_by[page] = seen | mask
+            faults += 1
+            if memory.home(page) == UNPLACED:
+                memory.place(page, node)
+        if faults:
+            self.counters.add("minor_faults", node, faults)
+        if thread is not None:
+            # feed the thread's address-space histogram (adaptive mode's
+            # priority-queue input): count this access batch by home node
+            for home, count in memory.pages_of(pages).items():
+                if home >= 0:
+                    thread.note_pages(home, count)
+        if self.numa_balancing:
+            self._autonuma(pages, node)
+        return faults
+
+    def _autonuma(self, pages: Sequence[int], node: int) -> None:
+        """AutoNUMA: migrate pages hot on a remote node toward it."""
+        memory = self.machine.memory
+        streaks = self._remote_streak
+        for page in pages:
+            home = memory.home(page)
+            if home == node:
+                streaks.pop(page, None)
+                continue
+            last, streak = streaks.get(page, (node, 0))
+            streak = streak + 1 if last == node else 1
+            if streak >= self.migration_streak:
+                self.migrate_page(page, node)
+                streaks.pop(page, None)
+            else:
+                streaks[page] = (node, streak)
+
+    def migrate_page(self, page: int, node: int) -> None:
+        """Move one page to ``node``: re-home it, invalidate caches,
+        count the traffic and the migration."""
+        memory = self.machine.memory
+        old_home = memory.home(page)
+        if old_home == node:
+            return
+        memory.free([page])
+        memory.place(page, node)
+        # the page's contents cross the fabric once (the kernel moves it
+        # in the background, so no requester stall is charged)
+        self.counters.add("ht_tx_bytes", old_home, memory.page_bytes)
+        for cache in self.machine.caches:
+            cache.invalidate([page])
+        self.counters.increment("numa_page_migrations", node)
+        # remote mappings are stale after the move
+        self._mapped_by[page] = 1 << node
+
+    def forget(self, pages: Sequence[int]) -> None:
+        """Drop mapping state and free the pages (intermediates released)."""
+        for page in pages:
+            self._mapped_by.pop(page, None)
+        self.machine.memory.free(pages)
+
+    def nodes_mapping(self, page: int) -> list[int]:
+        """Which nodes have mapped ``page`` so far."""
+        seen = self._mapped_by.get(page, 0)
+        return [n for n in self.machine.topology.all_nodes()
+                if seen & (1 << n)]
+
+    def total_minor_faults(self) -> float:
+        """Cumulative minor faults across all nodes."""
+        return self.counters.total("minor_faults")

@@ -1,0 +1,147 @@
+"""Work items: the unit of database work a thread executes.
+
+A :class:`WorkItem` is one operator partition — e.g. "thetasubselect over
+pages 120..143 of ``l_quantity``".  It carries:
+
+* ``reads``: the input page footprint, streamed in order;
+* ``writes``: output pages to materialise (first-touched on the node of the
+  core that executes them — this is how intermediates end up scattered or
+  clustered depending on thread placement);
+* ``cycles``: total compute cost, spread uniformly across pages (plus an
+  optional fixed startup cost).
+
+Items are resumable: the scheduler executes them in quantum-sized chunks and
+tracks progress inside the item.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Sequence
+
+from ..errors import SchedulerError
+
+
+class WorkItem:
+    """A resumable operator partition."""
+
+    __slots__ = (
+        "label", "reads", "writes", "cycles", "fixed_cycles", "query_name",
+        "on_complete", "_read_pos", "_write_pos", "_cycles_done",
+        "started_at", "extra_stall",
+    )
+
+    def __init__(self, label: str,
+                 reads: Sequence[int] = (),
+                 writes: Sequence[int] = (),
+                 cycles: float = 0.0,
+                 fixed_cycles: float = 0.0,
+                 query_name: str = "",
+                 on_complete: Callable[["WorkItem"], None] | None = None):
+        if cycles < 0 or fixed_cycles < 0:
+            raise SchedulerError("work cycles cannot be negative")
+        self.label = label
+        self.reads = reads
+        self.writes = writes
+        self.cycles = float(cycles)
+        self.fixed_cycles = float(fixed_cycles)
+        self.query_name = query_name
+        self.on_complete = on_complete
+        self._read_pos = 0
+        self._write_pos = 0
+        self._cycles_done = 0.0
+        #: set by the scheduler on first dispatch (for Tomograph records)
+        self.started_at: float | None = None
+        #: one-shot extra stall charged on next chunk (migration cost)
+        self.extra_stall = 0.0
+
+    @property
+    def total_pages(self) -> int:
+        """Input plus output page count."""
+        return len(self.reads) + len(self.writes)
+
+    @property
+    def total_cycles(self) -> float:
+        """All compute cycles the item will retire."""
+        return self.cycles + self.fixed_cycles
+
+    @property
+    def remaining_pages(self) -> int:
+        """Pages not yet streamed."""
+        return self.total_pages - self._read_pos - self._write_pos
+
+    @property
+    def remaining_cycles(self) -> float:
+        """Cycles not yet retired."""
+        return self.total_cycles - self._cycles_done
+
+    @property
+    def done(self) -> bool:
+        """Whether the item has fully executed."""
+        return self.remaining_pages == 0 and self.remaining_cycles <= 1e-6
+
+    def cycles_per_page(self) -> float:
+        """Variable compute cost attributed to each page."""
+        if self.total_pages == 0:
+            return 0.0
+        return self.cycles / self.total_pages
+
+    def take_reads(self, n: int) -> Sequence[int]:
+        """Consume up to ``n`` unread input pages."""
+        start = self._read_pos
+        end = min(start + n, len(self.reads))
+        self._read_pos = end
+        return self.reads[start:end]
+
+    def take_writes(self, n: int) -> Sequence[int]:
+        """Consume up to ``n`` unwritten output pages."""
+        start = self._write_pos
+        end = min(start + n, len(self.writes))
+        self._write_pos = end
+        return self.writes[start:end]
+
+    def retire_cycles(self, cycles: float) -> None:
+        """Mark compute progress (clamped to what remains)."""
+        self._cycles_done = min(self._cycles_done + cycles,
+                                self.total_cycles)
+
+    def force_complete_cycles(self) -> None:
+        """Retire whatever compute remains (used when pages finish first)."""
+        self._cycles_done = self.total_cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WorkItem {self.label!r} pages={self.total_pages} "
+                f"remaining={self.remaining_pages}>")
+
+
+class ListWorkSource:
+    """The simplest work source: a fixed queue of items per consumer.
+
+    Used by the microbenchmark (each pthread owns its slice) and by unit
+    tests.  The Volcano executor uses the richer staged source in
+    :mod:`repro.db.volcano`.
+    """
+
+    def __init__(self, items: Sequence[WorkItem] = ()):
+        self._queue: deque[WorkItem] = deque(items)
+        self._closed = True
+
+    def push(self, item: WorkItem) -> None:
+        """Append one more item."""
+        self._queue.append(item)
+
+    def next_item(self, thread) -> WorkItem | None:
+        """Hand the next item to ``thread`` (thread identity is ignored)."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    @property
+    def finished(self) -> bool:
+        """A list source is finished as soon as it is empty."""
+        return not self._queue
+
+    def register_waiter(self, thread) -> None:
+        """List sources never block consumers; registering is an error."""
+        raise SchedulerError(
+            "ListWorkSource is exhausted; thread should exit, not wait")

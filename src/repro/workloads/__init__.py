@@ -1,0 +1,13 @@
+"""Workloads: TPC-H, the hand-coded Q6 microbenchmark, phase drivers."""
+
+from .microbench import MicrobenchResult, run_q6_kernel
+from .phases import mixed_phases_stream, stable_phases_schedule
+from .selectivity import selectivity_query
+
+__all__ = [
+    "run_q6_kernel",
+    "MicrobenchResult",
+    "stable_phases_schedule",
+    "mixed_phases_stream",
+    "selectivity_query",
+]

@@ -1,0 +1,85 @@
+"""A small OLTP-style point-query workload (paper's future work, §VII).
+
+The paper closes by proposing to "study extensions to DBMS schedulers to
+take benefit from under-utilized cores to concurrent applications (e.g.,
+mixed OLAP/OLTP)".  This module provides the OLTP half of that study: a
+co-located application issuing *point queries* — single-key lookups over
+the orders table with a tiny footprint and one worker each — so the
+mixed-workload experiment can measure how much of the machine the elastic
+mechanism leaves to it.
+
+Point queries are parameterised by key so each execution profiles its own
+(small) plan; keys come from a seeded generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from ..db.operators import IndexLookup, Join, PlanNode
+from ..errors import WorkloadError
+
+
+def point_lookup(order_key: int) -> PlanNode:
+    """A primary-key lookup on orders joined to its lineitems.
+
+    The classic OLTP shape: fetch one order row and its handful of line
+    items, through simulated index descents on both tables — a few pages
+    touched, one worker, sub-millisecond."""
+    if order_key < 1:
+        raise WorkloadError("order keys start at 1")
+    order = IndexLookup("orders", "o_orderkey", order_key,
+                        keep=["o_orderkey", "o_custkey", "o_totalprice"])
+    items = IndexLookup("lineitem", "l_orderkey", order_key,
+                        keep=["l_orderkey", "l_quantity",
+                              "l_extendedprice"])
+    return Join(items, order, ["l_orderkey"], ["o_orderkey"],
+                how="inner",
+                keep_left=["l_quantity", "l_extendedprice"],
+                keep_right=["o_custkey", "o_totalprice"])
+
+
+def point_query_names(n_queries: int, n_orders: int,
+                      seed: int = 97) -> list[tuple[str, int]]:
+    """Deterministic (name, key) pairs for ``n_queries`` point lookups."""
+    if n_queries < 1 or n_orders < 1:
+        raise WorkloadError("need at least one query and one order")
+    rng = random.Random(seed)
+    pairs = []
+    for i in range(n_queries):
+        key = rng.randint(1, n_orders)
+        pairs.append((f"oltp_lookup_{i}", key))
+    return pairs
+
+
+def register_point_queries(engine, n_distinct: int = 16,
+                           seed: int = 97) -> list[str]:
+    """Register ``n_distinct`` point-lookup plans on ``engine``.
+
+    Returns the registered names.  Distinct plans (rather than one
+    re-parameterised plan) keep the engine's profile cache meaningful —
+    each name profiles once and is then cheap to resubmit, which is how
+    prepared statements behave.
+    """
+    n_orders = engine.catalog.table("orders").n_rows
+    names = []
+    for name, key in point_query_names(n_distinct, n_orders, seed):
+        engine.register_query(name, point_lookup(key))
+        names.append(name)
+    return names
+
+
+def oltp_stream(names: list[str], queries_per_client: int,
+                seed: int = 53) -> Callable[[int], list[str]]:
+    """Closed-loop stream factory drawing uniformly from ``names``."""
+    if not names:
+        raise WorkloadError("no registered point queries")
+    if queries_per_client < 1:
+        raise WorkloadError("queries_per_client must be >= 1")
+
+    def factory(client_id: int) -> list[str]:
+        rng = random.Random(seed * 99_991 + client_id)
+        return [rng.choice(names) for _ in range(queries_per_client)]
+
+    return factory

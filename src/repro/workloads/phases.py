@@ -1,0 +1,47 @@
+"""Phase-structured TPC-H workloads (paper §V-C).
+
+* **Stable phases** — "each phase is the concurrent execution of each query
+  at a time by N users": all clients run q1 once, then all run q2, ...
+  Phase boundaries are where the load dips and the mechanism breathes.
+* **Mixed phases** — every client continuously draws a *random* query from
+  the 22, de-synchronising the load; used for the per-query speedup and
+  HT/IMC comparison of Fig 19.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from ..errors import WorkloadError
+from .tpch.queries import QUERY_NAMES
+
+
+def stable_phases_schedule(queries: list[str] | None = None) -> list[str]:
+    """The phase order of the stable-phases workload (one query each)."""
+    schedule = list(queries) if queries is not None else list(QUERY_NAMES)
+    if not schedule:
+        raise WorkloadError("schedule cannot be empty")
+    return schedule
+
+
+def mixed_phases_stream(queries_per_client: int, seed: int = 7,
+                        queries: list[str] | None = None,
+                        ) -> Callable[[int], list[str]]:
+    """Stream factory for the mixed-phases workload.
+
+    Every client gets its own deterministic random sequence of
+    ``queries_per_client`` names drawn uniformly from the query set; the
+    same ``(seed, client)`` pair always yields the same sequence.
+    """
+    if queries_per_client < 1:
+        raise WorkloadError("queries_per_client must be >= 1")
+    pool = list(queries) if queries is not None else list(QUERY_NAMES)
+    if not pool:
+        raise WorkloadError("query pool cannot be empty")
+
+    def factory(client_id: int) -> list[str]:
+        rng = random.Random(seed * 1_000_003 + client_id)
+        return [rng.choice(pool) for _ in range(queries_per_client)]
+
+    return factory

@@ -1,0 +1,35 @@
+"""Selectivity-sweep workload for the L3-miss study (paper §V-A2, Fig 15).
+
+The paper measures memory-intensive column scans that fetch different
+fractions of the data.  ``l_quantity`` is uniform on [1, 50], so a
+predicate ``l_quantity <= 50 * fraction`` selects almost exactly that
+fraction of the column; the selected rows are materialised (the paper's
+point is that beyond ~64 % the result no longer fits the L3).
+"""
+
+from __future__ import annotations
+
+from ..db.expressions import Col, le
+from ..db.operators import Aggregate, Filter, PlanNode, Scan
+from ..errors import WorkloadError
+
+#: the paper's Fig 15 x-axis
+SELECTIVITY_LEVELS = (0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.00)
+
+
+def selectivity_query(fraction: float) -> PlanNode:
+    """A thetasubselect over ``l_quantity`` selecting ``fraction`` rows."""
+    if not 0.0 < fraction <= 1.0:
+        raise WorkloadError("fraction must be in (0, 1]")
+    threshold = 50.0 * fraction
+    selected = Filter(Scan("lineitem"),
+                      le(Col("l_quantity"), threshold),
+                      keep=["l_quantity", "l_extendedprice"])
+    selected.mal_name = "algebra.thetasubselect"
+    return Aggregate(selected, [],
+                     {"total": ("sum", Col("l_extendedprice"))})
+
+
+def selectivity_name(fraction: float) -> str:
+    """Registered query name for one sweep level (``sel_32pct``)."""
+    return f"sel_{int(round(fraction * 100))}pct"

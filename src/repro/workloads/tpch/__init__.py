@@ -1,0 +1,21 @@
+"""Synthetic TPC-H: schema constants, data generator and the 22 queries.
+
+Data is generated at a small real scale (for fast oracle execution) while
+the *simulated* footprint is scaled to the paper's 1 GB database through
+``byte_scale`` — see :mod:`repro.db.bat`.
+"""
+
+from .datagen import TpchDataset, generate
+from .params import build_variants
+from .queries import QUERY_NAMES, build_queries
+from .schema import SCALE_FACTOR_ROWS, date_index
+
+__all__ = [
+    "generate",
+    "TpchDataset",
+    "build_queries",
+    "build_variants",
+    "QUERY_NAMES",
+    "date_index",
+    "SCALE_FACTOR_ROWS",
+]

@@ -1,0 +1,621 @@
+"""Physical-plan builders for the 22 TPC-H queries.
+
+Each builder returns a :class:`~repro.db.operators.PlanNode` tree over the
+synthetic schema (dictionary codes, day-index dates, flag columns — see
+:mod:`repro.workloads.tpch.schema`).  Parameters are the TPC-H validation
+values.  Output column sets are trimmed to the numeric columns the schema
+carries (names/addresses/comment texts are not generated), but the *join
+and aggregation structure* — what the simulation costs — follows the
+official queries operator for operator.
+
+``build_queries(scale)`` needs the generated scale factor because Q11's
+``HAVING value > fraction * total`` threshold scales with it, exactly as
+the official query's ``0.0001 / SF``.
+"""
+
+from __future__ import annotations
+
+from ...db.expressions import (And, Between, Case, Col, Const, Floor,
+                               InList, Not, Or, eq, ge, gt, le, lt, ne)
+from ...db.operators import (Aggregate, Distinct, Filter, Join, Limit,
+                             OrderBy, PlanNode, Project, Scan)
+from .schema import (brand_code, container_code, date_index, nation_code,
+                     region_code, segment_code, ship_mode_code, type_code,
+                     type_syllable3_codes)
+
+QUERY_NAMES = [f"q{i}" for i in range(1, 23)]
+
+
+def _year(col: str):
+    """Approximate calendar year from a day index (1992 epoch)."""
+    return Const(1992) + Floor(Col(col) / 365.25)
+
+
+def _revenue():
+    return Col("l_extendedprice") * (Const(1.0) - Col("l_discount"))
+
+
+def _keyed(child: PlanNode, columns: list[str]) -> PlanNode:
+    """Add a constant join key (scalar-subquery cross joins)."""
+    outputs = {c: Col(c) for c in columns}
+    outputs["join_key"] = Const(1)
+    return Project(child, outputs)
+
+
+# ---------------------------------------------------------------------------
+
+
+def q1() -> PlanNode:
+    """Pricing summary report."""
+    li = Filter(Scan("lineitem"),
+                le(Col("l_shipdate"), date_index("1998-09-02")),
+                keep=["l_returnflag", "l_linestatus", "l_quantity",
+                      "l_extendedprice", "l_discount", "l_tax"])
+    agg = Aggregate(li, ["l_returnflag", "l_linestatus"], {
+        "sum_qty": ("sum", Col("l_quantity")),
+        "sum_base_price": ("sum", Col("l_extendedprice")),
+        "sum_disc_price": ("sum", _revenue()),
+        "sum_charge": ("sum", _revenue() * (Const(1.0) + Col("l_tax"))),
+        "avg_qty": ("avg", Col("l_quantity")),
+        "avg_price": ("avg", Col("l_extendedprice")),
+        "avg_disc": ("avg", Col("l_discount")),
+        "count_order": ("count", None),
+    })
+    return OrderBy(agg, ["l_returnflag", "l_linestatus"])
+
+
+def q2() -> PlanNode:
+    """Minimum-cost supplier (EUROPE, size 15, %BRASS)."""
+    parts = Filter(Scan("part"),
+                   And(eq(Col("p_size"), 15),
+                       InList(Col("p_type"),
+                              type_syllable3_codes("BRASS"))),
+                   keep=["p_partkey"])
+    europe = Filter(Scan("region"), eq(Col("r_name"),
+                                       region_code("EUROPE")),
+                    keep=["r_regionkey"])
+    nations = Join(Scan("nation"), europe, ["n_regionkey"],
+                   ["r_regionkey"], how="semi",
+                   keep_left=["n_nationkey", "n_name"])
+    supp = Join(Scan("supplier"), nations, ["s_nationkey"],
+                ["n_nationkey"], how="inner",
+                keep_left=["s_suppkey", "s_acctbal"],
+                keep_right=["n_name"])
+    ps = Join(Scan("partsupp"), parts, ["ps_partkey"], ["p_partkey"],
+              how="inner",
+              keep_left=["ps_partkey", "ps_suppkey", "ps_supplycost"],
+              keep_right=[])
+    ps_eu = Join(ps, supp, ["ps_suppkey"], ["s_suppkey"], how="inner",
+                 keep_left=["ps_partkey", "ps_supplycost"],
+                 keep_right=["s_acctbal", "n_name"])
+    min_cost = Aggregate(ps_eu, ["ps_partkey"],
+                         {"min_cost": ("min", Col("ps_supplycost"))})
+    best = Join(ps_eu, min_cost,
+                ["ps_partkey", "ps_supplycost"],
+                ["ps_partkey", "min_cost"], how="semi")
+    return Limit(OrderBy(best, ["s_acctbal", "n_name", "ps_partkey"],
+                         [False, True, True]), 100)
+
+
+def q3() -> PlanNode:
+    """Shipping priority (BUILDING, 1995-03-15)."""
+    cutoff = date_index("1995-03-15")
+    cust = Filter(Scan("customer"),
+                  eq(Col("c_mktsegment"), segment_code("BUILDING")),
+                  keep=["c_custkey"])
+    orders = Filter(Scan("orders"), lt(Col("o_orderdate"), cutoff),
+                    keep=["o_orderkey", "o_custkey", "o_orderdate",
+                          "o_shippriority"])
+    orders = Join(orders, cust, ["o_custkey"], ["c_custkey"], how="semi")
+    li = Filter(Scan("lineitem"), gt(Col("l_shipdate"), cutoff),
+                keep=["l_orderkey", "l_extendedprice", "l_discount"])
+    joined = Join(li, orders, ["l_orderkey"], ["o_orderkey"], how="inner",
+                  keep_right=["o_orderdate", "o_shippriority"])
+    agg = Aggregate(joined,
+                    ["l_orderkey", "o_orderdate", "o_shippriority"],
+                    {"revenue": ("sum", _revenue())})
+    return Limit(OrderBy(agg, ["revenue", "o_orderdate"], [False, True]),
+                 10)
+
+
+def q4() -> PlanNode:
+    """Order priority checking (1993-Q3)."""
+    late = Filter(Scan("lineitem"),
+                  lt(Col("l_commitdate"), Col("l_receiptdate")),
+                  keep=["l_orderkey"])
+    orders = Filter(Scan("orders"),
+                    And(ge(Col("o_orderdate"), date_index("1993-07-01")),
+                        lt(Col("o_orderdate"), date_index("1993-10-01"))),
+                    keep=["o_orderkey", "o_orderpriority"])
+    matched = Join(orders, late, ["o_orderkey"], ["l_orderkey"],
+                   how="semi")
+    agg = Aggregate(matched, ["o_orderpriority"],
+                    {"order_count": ("count", None)})
+    return OrderBy(agg, ["o_orderpriority"])
+
+
+def q5() -> PlanNode:
+    """Local supplier volume (ASIA, 1994)."""
+    asia = Filter(Scan("region"), eq(Col("r_name"), region_code("ASIA")),
+                  keep=["r_regionkey"])
+    nations = Join(Scan("nation"), asia, ["n_regionkey"],
+                   ["r_regionkey"], how="semi",
+                   keep_left=["n_nationkey", "n_name"])
+    cust = Join(Scan("customer"), nations, ["c_nationkey"],
+                ["n_nationkey"], how="semi",
+                keep_left=["c_custkey", "c_nationkey"])
+    orders = Filter(Scan("orders"),
+                    And(ge(Col("o_orderdate"), date_index("1994-01-01")),
+                        lt(Col("o_orderdate"), date_index("1995-01-01"))),
+                    keep=["o_orderkey", "o_custkey"])
+    orders = Join(orders, cust, ["o_custkey"], ["c_custkey"],
+                  how="inner", keep_left=["o_orderkey"],
+                  keep_right=["c_nationkey"])
+    li = Join(Scan("lineitem"), orders, ["l_orderkey"], ["o_orderkey"],
+              how="inner",
+              keep_left=["l_suppkey", "l_extendedprice", "l_discount"],
+              keep_right=["c_nationkey"])
+    # supplier must sit in the customer's nation (multi-key join)
+    supp = Scan("supplier", ["s_suppkey", "s_nationkey"])
+    li = Join(li, supp, ["l_suppkey", "c_nationkey"],
+              ["s_suppkey", "s_nationkey"], how="semi")
+    agg = Aggregate(li, ["c_nationkey"], {"revenue": ("sum", _revenue())})
+    named = Join(agg, Scan("nation", ["n_nationkey", "n_name"]),
+                 ["c_nationkey"], ["n_nationkey"], how="inner",
+                 keep_right=["n_name"])
+    return OrderBy(named, ["revenue"], [False])
+
+
+def q6() -> PlanNode:
+    """Forecasting revenue change — the paper's running example."""
+    predicate = And(ge(Col("l_shipdate"), date_index("1997-01-01")),
+                    lt(Col("l_shipdate"), date_index("1998-01-01")),
+                    Between(Col("l_discount"), 0.07 - 0.011,
+                            0.07 + 0.011),
+                    lt(Col("l_quantity"), 24))
+    selected = Filter(Scan("lineitem"), predicate,
+                      keep=["l_extendedprice", "l_discount"])
+    selected.mal_name = "algebra.thetasubselect"
+    projected = Project(selected,
+                        {"rev": Col("l_extendedprice")
+                                * Col("l_discount")})
+    agg = Aggregate(projected, [], {"revenue": ("sum", Col("rev"))})
+    agg.mal_name = "aggr.sum"
+    return agg
+
+
+def q7() -> PlanNode:
+    """Volume shipping (FRANCE <-> GERMANY, 1995-1996)."""
+    fr, de = nation_code("FRANCE"), nation_code("GERMANY")
+    supp = Filter(Scan("supplier"), InList(Col("s_nationkey"), [fr, de]),
+                  keep=["s_suppkey", "s_nationkey"])
+    cust = Filter(Scan("customer"), InList(Col("c_nationkey"), [fr, de]),
+                  keep=["c_custkey", "c_nationkey"])
+    orders = Join(Scan("orders", ["o_orderkey", "o_custkey"]), cust,
+                  ["o_custkey"], ["c_custkey"], how="inner",
+                  keep_left=["o_orderkey"], keep_right=["c_nationkey"])
+    li = Filter(Scan("lineitem"),
+                Between(Col("l_shipdate"), date_index("1995-01-01"),
+                        date_index("1996-12-31")),
+                keep=["l_orderkey", "l_suppkey", "l_shipdate",
+                      "l_extendedprice", "l_discount"])
+    li = Join(li, orders, ["l_orderkey"], ["o_orderkey"], how="inner",
+              keep_right=["c_nationkey"])
+    li = Join(li, supp, ["l_suppkey"], ["s_suppkey"], how="inner",
+              keep_right=["s_nationkey"])
+    li = Filter(li, Or(And(eq(Col("s_nationkey"), fr),
+                           eq(Col("c_nationkey"), de)),
+                       And(eq(Col("s_nationkey"), de),
+                           eq(Col("c_nationkey"), fr))))
+    vol = Project(li, {"supp_nation": Col("s_nationkey"),
+                       "cust_nation": Col("c_nationkey"),
+                       "l_year": _year("l_shipdate"),
+                       "volume": _revenue()})
+    agg = Aggregate(vol, ["supp_nation", "cust_nation", "l_year"],
+                    {"revenue": ("sum", Col("volume"))})
+    return OrderBy(agg, ["supp_nation", "cust_nation", "l_year"])
+
+
+def q8() -> PlanNode:
+    """National market share (BRAZIL in AMERICA, ECONOMY ANODIZED STEEL)."""
+    target_type = type_code("ECONOMY ANODIZED STEEL")
+    brazil = nation_code("BRAZIL")
+    parts = Filter(Scan("part"), eq(Col("p_type"), target_type),
+                   keep=["p_partkey"])
+    li = Join(Scan("lineitem",
+                   ["l_partkey", "l_orderkey", "l_suppkey",
+                    "l_extendedprice", "l_discount"]),
+              parts, ["l_partkey"], ["p_partkey"], how="semi")
+    america = Filter(Scan("region"),
+                     eq(Col("r_name"), region_code("AMERICA")),
+                     keep=["r_regionkey"])
+    nations = Join(Scan("nation"), america, ["n_regionkey"],
+                   ["r_regionkey"], how="semi", keep_left=["n_nationkey"])
+    cust = Join(Scan("customer", ["c_custkey", "c_nationkey"]), nations,
+                ["c_nationkey"], ["n_nationkey"], how="semi",
+                keep_left=["c_custkey"])
+    orders = Filter(Scan("orders"),
+                    Between(Col("o_orderdate"), date_index("1995-01-01"),
+                            date_index("1996-12-31")),
+                    keep=["o_orderkey", "o_custkey", "o_orderdate"])
+    orders = Join(orders, cust, ["o_custkey"], ["c_custkey"], how="semi",
+                  keep_left=["o_orderkey", "o_orderdate"])
+    li = Join(li, orders, ["l_orderkey"], ["o_orderkey"], how="inner",
+              keep_right=["o_orderdate"])
+    li = Join(li, Scan("supplier", ["s_suppkey", "s_nationkey"]),
+              ["l_suppkey"], ["s_suppkey"], how="inner",
+              keep_right=["s_nationkey"])
+    vol = Project(li, {
+        "o_year": _year("o_orderdate"),
+        "volume": _revenue(),
+        "brazil_volume": Case(eq(Col("s_nationkey"), brazil),
+                              _revenue(), Const(0.0)),
+    })
+    agg = Aggregate(vol, ["o_year"], {
+        "brazil": ("sum", Col("brazil_volume")),
+        "total": ("sum", Col("volume")),
+    })
+    share = Project(agg, {"o_year": Col("o_year"),
+                          "mkt_share": Col("brazil")
+                                       / (Col("total") + Const(1e-9))})
+    return OrderBy(share, ["o_year"])
+
+
+def q9() -> PlanNode:
+    """Product-type profit measure (%green% parts)."""
+    parts = Filter(Scan("part"), eq(Col("p_name_green"), 1),
+                   keep=["p_partkey"])
+    li = Join(Scan("lineitem",
+                   ["l_partkey", "l_suppkey", "l_orderkey", "l_quantity",
+                    "l_extendedprice", "l_discount"]),
+              parts, ["l_partkey"], ["p_partkey"], how="semi")
+    li = Join(li, Scan("partsupp",
+                       ["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+              ["l_partkey", "l_suppkey"], ["ps_partkey", "ps_suppkey"],
+              how="inner", keep_right=["ps_supplycost"])
+    li = Join(li, Scan("orders", ["o_orderkey", "o_orderdate"]),
+              ["l_orderkey"], ["o_orderkey"], how="inner",
+              keep_right=["o_orderdate"])
+    li = Join(li, Scan("supplier", ["s_suppkey", "s_nationkey"]),
+              ["l_suppkey"], ["s_suppkey"], how="inner",
+              keep_right=["s_nationkey"])
+    profit = Project(li, {
+        "nation": Col("s_nationkey"),
+        "o_year": _year("o_orderdate"),
+        "amount": _revenue()
+                  - Col("ps_supplycost") * Col("l_quantity"),
+    })
+    agg = Aggregate(profit, ["nation", "o_year"],
+                    {"sum_profit": ("sum", Col("amount"))})
+    return OrderBy(agg, ["nation", "o_year"], [True, False])
+
+
+def q10() -> PlanNode:
+    """Returned item reporting (1993-Q4)."""
+    orders = Filter(Scan("orders"),
+                    And(ge(Col("o_orderdate"), date_index("1993-10-01")),
+                        lt(Col("o_orderdate"), date_index("1994-01-01"))),
+                    keep=["o_orderkey", "o_custkey"])
+    li = Filter(Scan("lineitem"), eq(Col("l_returnflag"), 2),  # 'R'
+                keep=["l_orderkey", "l_extendedprice", "l_discount"])
+    li = Join(li, orders, ["l_orderkey"], ["o_orderkey"], how="inner",
+              keep_right=["o_custkey"])
+    agg = Aggregate(li, ["o_custkey"], {"revenue": ("sum", _revenue())})
+    cust = Join(agg, Scan("customer",
+                          ["c_custkey", "c_nationkey", "c_acctbal"]),
+                ["o_custkey"], ["c_custkey"], how="inner",
+                keep_right=["c_nationkey", "c_acctbal"])
+    named = Join(cust, Scan("nation", ["n_nationkey", "n_name"]),
+                 ["c_nationkey"], ["n_nationkey"], how="inner",
+                 keep_right=["n_name"])
+    return Limit(OrderBy(named, ["revenue"], [False]), 20)
+
+
+def q11(scale: float) -> PlanNode:
+    """Important stock identification (GERMANY); HAVING scales with SF."""
+    supp = Filter(Scan("supplier"),
+                  eq(Col("s_nationkey"), nation_code("GERMANY")),
+                  keep=["s_suppkey"])
+    ps = Join(Scan("partsupp"), supp, ["ps_suppkey"], ["s_suppkey"],
+              how="semi",
+              keep_left=["ps_partkey", "ps_supplycost", "ps_availqty"])
+    value = Project(ps, {"ps_partkey": Col("ps_partkey"),
+                         "value": Col("ps_supplycost")
+                                  * Col("ps_availqty")})
+    by_part = Aggregate(value, ["ps_partkey"],
+                        {"value": ("sum", Col("value"))})
+    total = Aggregate(value, [], {"total": ("sum", Col("value"))})
+    joined = Join(_keyed(by_part, ["ps_partkey", "value"]),
+                  _keyed(total, ["total"]),
+                  ["join_key"], ["join_key"], how="inner",
+                  keep_left=["ps_partkey", "value"],
+                  keep_right=["total"])
+    fraction = 0.0001 / scale
+    big = Filter(joined, gt(Col("value"),
+                            Col("total") * Const(fraction)),
+                 keep=["ps_partkey", "value"])
+    return OrderBy(big, ["value"], [False])
+
+
+def q12() -> PlanNode:
+    """Shipping modes and order priority (MAIL, SHIP, 1994)."""
+    modes = [ship_mode_code("MAIL"), ship_mode_code("SHIP")]
+    li = Filter(Scan("lineitem"),
+                And(InList(Col("l_shipmode"), modes),
+                    lt(Col("l_commitdate"), Col("l_receiptdate")),
+                    lt(Col("l_shipdate"), Col("l_commitdate")),
+                    ge(Col("l_receiptdate"), date_index("1994-01-01")),
+                    lt(Col("l_receiptdate"), date_index("1995-01-01"))),
+                keep=["l_orderkey", "l_shipmode"])
+    li = Join(li, Scan("orders", ["o_orderkey", "o_orderpriority"]),
+              ["l_orderkey"], ["o_orderkey"], how="inner",
+              keep_right=["o_orderpriority"])
+    flagged = Project(li, {
+        "l_shipmode": Col("l_shipmode"),
+        "high": Case(InList(Col("o_orderpriority"), [0, 1]),
+                     Const(1), Const(0)),
+        "low": Case(InList(Col("o_orderpriority"), [0, 1]),
+                    Const(0), Const(1)),
+    })
+    agg = Aggregate(flagged, ["l_shipmode"], {
+        "high_line_count": ("sum", Col("high")),
+        "low_line_count": ("sum", Col("low")),
+    })
+    return OrderBy(agg, ["l_shipmode"])
+
+
+def q13() -> PlanNode:
+    """Customer distribution (orders per customer, zeros included)."""
+    orders = Filter(Scan("orders"), eq(Col("o_comment_special"), 0),
+                    keep=["o_custkey"])
+    per_cust = Aggregate(orders, ["o_custkey"],
+                         {"c_count": ("count", None)})
+    with_zeros = Join(Scan("customer", ["c_custkey"]), per_cust,
+                      ["c_custkey"], ["o_custkey"], how="left",
+                      keep_right=["c_count"], fill=0)
+    dist = Aggregate(with_zeros, ["c_count"],
+                     {"custdist": ("count", None)})
+    return OrderBy(dist, ["custdist", "c_count"], [False, False])
+
+
+def q14() -> PlanNode:
+    """Promotion effect (1995-09)."""
+    li = Filter(Scan("lineitem"),
+                And(ge(Col("l_shipdate"), date_index("1995-09-01")),
+                    lt(Col("l_shipdate"), date_index("1995-10-01"))),
+                keep=["l_partkey", "l_extendedprice", "l_discount"])
+    li = Join(li, Scan("part", ["p_partkey", "p_type"]),
+              ["l_partkey"], ["p_partkey"], how="inner",
+              keep_right=["p_type"])
+    promo_codes = list(range(3 * 25, 4 * 25))  # PROMO * *
+    flagged = Project(li, {
+        "promo": Case(InList(Col("p_type"), promo_codes), _revenue(),
+                      Const(0.0)),
+        "total": _revenue(),
+    })
+    agg = Aggregate(flagged, [], {
+        "promo": ("sum", Col("promo")),
+        "total": ("sum", Col("total")),
+    })
+    return Project(agg, {"promo_revenue":
+                         Const(100.0) * Col("promo")
+                         / (Col("total") + Const(1e-9))})
+
+
+def q15() -> PlanNode:
+    """Top supplier (1996-Q1)."""
+    li = Filter(Scan("lineitem"),
+                And(ge(Col("l_shipdate"), date_index("1996-01-01")),
+                    lt(Col("l_shipdate"), date_index("1996-04-01"))),
+                keep=["l_suppkey", "l_extendedprice", "l_discount"])
+    revenue = Aggregate(li, ["l_suppkey"],
+                        {"total_revenue": ("sum", _revenue())})
+    top = Aggregate(revenue, [],
+                    {"max_revenue": ("max", Col("total_revenue"))})
+    best = Join(_keyed(revenue, ["l_suppkey", "total_revenue"]),
+                _keyed(top, ["max_revenue"]),
+                ["join_key"], ["join_key"], how="inner",
+                keep_left=["l_suppkey", "total_revenue"],
+                keep_right=["max_revenue"])
+    best = Filter(best, ge(Col("total_revenue"), Col("max_revenue")),
+                  keep=["l_suppkey", "total_revenue"])
+    named = Join(best, Scan("supplier", ["s_suppkey", "s_acctbal"]),
+                 ["l_suppkey"], ["s_suppkey"], how="inner",
+                 keep_right=["s_acctbal"])
+    return OrderBy(named, ["l_suppkey"])
+
+
+def q16() -> PlanNode:
+    """Parts/supplier relationship (excluding complaint suppliers)."""
+    medium_polished = [2 * 25 + 4 * 5 + s3 for s3 in range(5)]
+    sizes = [49, 14, 23, 45, 19, 3, 36, 9]
+    parts = Filter(Scan("part"),
+                   And(ne(Col("p_brand"), brand_code("Brand#45")),
+                       Not(InList(Col("p_type"), medium_polished)),
+                       InList(Col("p_size"), sizes)),
+                   keep=["p_partkey", "p_brand", "p_type", "p_size"])
+    bad = Filter(Scan("supplier"), eq(Col("s_comment_complaints"), 1),
+                 keep=["s_suppkey"])
+    ps = Join(Scan("partsupp", ["ps_partkey", "ps_suppkey"]), bad,
+              ["ps_suppkey"], ["s_suppkey"], how="anti")
+    joined = Join(ps, parts, ["ps_partkey"], ["p_partkey"], how="inner",
+                  keep_left=["ps_suppkey"],
+                  keep_right=["p_brand", "p_type", "p_size"])
+    agg = Aggregate(joined, ["p_brand", "p_type", "p_size"],
+                    {"supplier_cnt":
+                     ("count_distinct", Col("ps_suppkey"))})
+    return OrderBy(agg, ["supplier_cnt", "p_brand", "p_type", "p_size"],
+                   [False, True, True, True])
+
+
+def q17() -> PlanNode:
+    """Small-quantity-order revenue (Brand#23, MED BOX)."""
+    parts = Filter(Scan("part"),
+                   And(eq(Col("p_brand"), brand_code("Brand#23")),
+                       eq(Col("p_container"), container_code("MED BOX"))),
+                   keep=["p_partkey"])
+    li = Join(Scan("lineitem",
+                   ["l_partkey", "l_quantity", "l_extendedprice"]),
+              parts, ["l_partkey"], ["p_partkey"], how="semi")
+    avg_qty = Aggregate(li, ["l_partkey"],
+                        {"avg_qty": ("avg", Col("l_quantity"))})
+    joined = Join(li, avg_qty, ["l_partkey"], ["l_partkey"], how="inner",
+                  keep_right=["avg_qty"])
+    small = Filter(joined,
+                   lt(Col("l_quantity"), Const(0.2) * Col("avg_qty")),
+                   keep=["l_extendedprice"])
+    agg = Aggregate(small, [],
+                    {"sum_price": ("sum", Col("l_extendedprice"))})
+    return Project(agg, {"avg_yearly": Col("sum_price") / Const(7.0)})
+
+
+def q18() -> PlanNode:
+    """Large-volume customers (quantity > 300)."""
+    per_order = Aggregate(Scan("lineitem", ["l_orderkey", "l_quantity"]),
+                          ["l_orderkey"],
+                          {"sum_qty": ("sum", Col("l_quantity"))})
+    big = Filter(per_order, gt(Col("sum_qty"), 300),
+                 keep=["l_orderkey", "sum_qty"])
+    joined = Join(big, Scan("orders",
+                            ["o_orderkey", "o_custkey", "o_orderdate",
+                             "o_totalprice"]),
+                  ["l_orderkey"], ["o_orderkey"], how="inner",
+                  keep_right=["o_custkey", "o_orderdate", "o_totalprice"])
+    named = Join(joined, Scan("customer", ["c_custkey"]),
+                 ["o_custkey"], ["c_custkey"], how="semi")
+    return Limit(OrderBy(named, ["o_totalprice", "o_orderdate"],
+                         [False, True]), 100)
+
+
+def q19() -> PlanNode:
+    """Discounted revenue (three brand/container/quantity disjuncts)."""
+    modes = [ship_mode_code("AIR"), ship_mode_code("REG AIR")]
+    li = Filter(Scan("lineitem"),
+                And(InList(Col("l_shipmode"), modes),
+                    eq(Col("l_shipinstruct"), 1)),  # DELIVER IN PERSON
+                keep=["l_partkey", "l_quantity", "l_extendedprice",
+                      "l_discount"])
+    li = Join(li, Scan("part", ["p_partkey", "p_brand", "p_container",
+                                "p_size"]),
+              ["l_partkey"], ["p_partkey"], how="inner",
+              keep_right=["p_brand", "p_container", "p_size"])
+
+    def clause(brand: str, containers: list[str], qty_lo: int,
+               size_hi: int):
+        return And(eq(Col("p_brand"), brand_code(brand)),
+                   InList(Col("p_container"),
+                          [container_code(c) for c in containers]),
+                   Between(Col("l_quantity"), qty_lo, qty_lo + 10),
+                   Between(Col("p_size"), 1, size_hi))
+
+    matched = Filter(li, Or(
+        clause("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+               1, 5),
+        clause("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+               10, 10),
+        clause("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+               20, 15)))
+    return Aggregate(matched, [], {"revenue": ("sum", _revenue())})
+
+
+def q20() -> PlanNode:
+    """Potential part promotion (CANADA, 1994, %green% stock)."""
+    parts = Filter(Scan("part"), eq(Col("p_name_green"), 1),
+                   keep=["p_partkey"])
+    li = Filter(Scan("lineitem"),
+                And(ge(Col("l_shipdate"), date_index("1994-01-01")),
+                    lt(Col("l_shipdate"), date_index("1995-01-01"))),
+                keep=["l_partkey", "l_suppkey", "l_quantity"])
+    shipped = Aggregate(li, ["l_partkey", "l_suppkey"],
+                        {"sum_qty": ("sum", Col("l_quantity"))})
+    ps = Join(Scan("partsupp",
+                   ["ps_partkey", "ps_suppkey", "ps_availqty"]),
+              parts, ["ps_partkey"], ["p_partkey"], how="semi")
+    joined = Join(ps, shipped, ["ps_partkey", "ps_suppkey"],
+                  ["l_partkey", "l_suppkey"], how="inner",
+                  keep_right=["sum_qty"])
+    excess = Filter(joined,
+                    gt(Col("ps_availqty"),
+                       Const(0.5) * Col("sum_qty")),
+                    keep=["ps_suppkey"])
+    excess = Distinct(excess, ["ps_suppkey"])
+    canada = Filter(Scan("supplier"),
+                    eq(Col("s_nationkey"), nation_code("CANADA")),
+                    keep=["s_suppkey", "s_acctbal"])
+    result = Join(canada, excess, ["s_suppkey"], ["ps_suppkey"],
+                  how="semi")
+    return OrderBy(result, ["s_suppkey"])
+
+
+def q21() -> PlanNode:
+    """Suppliers who kept orders waiting (SAUDI ARABIA)."""
+    f_orders = Filter(Scan("orders"), eq(Col("o_orderstatus"), 0),  # 'F'
+                      keep=["o_orderkey"])
+    late = Filter(Scan("lineitem"),
+                  gt(Col("l_receiptdate"), Col("l_commitdate")),
+                  keep=["l_orderkey", "l_suppkey"])
+    late = Join(late, f_orders, ["l_orderkey"], ["o_orderkey"],
+                how="semi")
+    # per-order supplier cardinalities: all suppliers vs late suppliers
+    all_pairs = Distinct(Scan("lineitem", ["l_orderkey", "l_suppkey"]),
+                         ["l_orderkey", "l_suppkey"])
+    n_suppliers = Aggregate(all_pairs, ["l_orderkey"],
+                            {"n_supp": ("count", None)})
+    late_pairs = Distinct(late, ["l_orderkey", "l_suppkey"])
+    n_late = Aggregate(late_pairs, ["l_orderkey"],
+                       {"n_late": ("count", None)})
+    multi = Filter(n_suppliers, ge(Col("n_supp"), 2),
+                   keep=["l_orderkey"])
+    solo_late = Filter(n_late, eq(Col("n_late"), 1),
+                       keep=["l_orderkey"])
+    candidates = Join(multi, solo_late, ["l_orderkey"], ["l_orderkey"],
+                      how="semi")
+    saudi = Filter(Scan("supplier"),
+                   eq(Col("s_nationkey"), nation_code("SAUDI ARABIA")),
+                   keep=["s_suppkey"])
+    waiting = Join(late, saudi, ["l_suppkey"], ["s_suppkey"], how="semi")
+    waiting = Join(waiting, candidates, ["l_orderkey"], ["l_orderkey"],
+                   how="semi")
+    agg = Aggregate(waiting, ["l_suppkey"], {"numwait": ("count", None)})
+    return Limit(OrderBy(agg, ["numwait", "l_suppkey"], [False, True]),
+                 100)
+
+
+def q22() -> PlanNode:
+    """Global sales opportunity (rich customers with no orders)."""
+    codes = [13, 31, 23, 29, 30, 18, 17]
+    cust = Filter(Scan("customer"), InList(Col("c_phone_cc"), codes),
+                  keep=["c_custkey", "c_acctbal", "c_phone_cc"])
+    positive = Filter(cust, gt(Col("c_acctbal"), 0.0),
+                      keep=["c_acctbal"])
+    avg_bal = Aggregate(positive, [],
+                        {"avg_bal": ("avg", Col("c_acctbal"))})
+    rich = Join(_keyed(cust, ["c_custkey", "c_acctbal", "c_phone_cc"]),
+                _keyed(avg_bal, ["avg_bal"]),
+                ["join_key"], ["join_key"], how="inner",
+                keep_left=["c_custkey", "c_acctbal", "c_phone_cc"],
+                keep_right=["avg_bal"])
+    rich = Filter(rich, gt(Col("c_acctbal"), Col("avg_bal")),
+                  keep=["c_custkey", "c_acctbal", "c_phone_cc"])
+    inactive = Join(rich, Scan("orders", ["o_custkey"]),
+                    ["c_custkey"], ["o_custkey"], how="anti")
+    agg = Aggregate(inactive, ["c_phone_cc"], {
+        "numcust": ("count", None),
+        "totacctbal": ("sum", Col("c_acctbal")),
+    })
+    return OrderBy(agg, ["c_phone_cc"])
+
+
+def build_queries(scale: float = 0.01) -> dict[str, PlanNode]:
+    """All 22 query plans, keyed ``q1``..``q22``.
+
+    ``scale`` is the *generated* scale factor (Q11's HAVING threshold is
+    scale-dependent, per the official definition).
+    """
+    return {
+        "q1": q1(), "q2": q2(), "q3": q3(), "q4": q4(), "q5": q5(),
+        "q6": q6(), "q7": q7(), "q8": q8(), "q9": q9(), "q10": q10(),
+        "q11": q11(scale), "q12": q12(), "q13": q13(), "q14": q14(),
+        "q15": q15(), "q16": q16(), "q17": q17(), "q18": q18(),
+        "q19": q19(), "q20": q20(), "q21": q21(), "q22": q22(),
+    }

@@ -1,0 +1,71 @@
+"""Analysis helpers: metrics and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import geometric_mean, ratio_reduction, speedup
+from repro.analysis.report import render_table
+from repro.errors import ReproError
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            speedup(0, 1)
+        with pytest.raises(ReproError):
+            speedup(1, -1)
+
+    def test_ratio_reduction(self):
+        assert ratio_reduction(0.8, 0.2) == pytest.approx(4.0)
+        assert ratio_reduction(0.5, 0.0) == math.inf
+
+    def test_ratio_reduction_rejects_negative(self):
+        with pytest.raises(ReproError):
+            ratio_reduction(-0.1, 0.2)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([3]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_bad_input(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        table = render_table(["name", "value"],
+                             [["alpha", 1.5], ["b", 22.25]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        table = render_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_numbers_right_aligned_text_left(self):
+        table = render_table(["mode", "n"], [["verylongmode", 7]])
+        row = table.splitlines()[-1]
+        assert row.startswith("verylongmode")
+        assert row.endswith("7")
+
+    def test_float_formatting(self):
+        table = render_table(["v"], [[1234.5], [0.1234], [12.345], [0.0]])
+        body = table.splitlines()[2:]
+        assert body[0].strip() == "1,234"   # thousands (rounded)
+        assert body[1].strip() == "0.123"
+        assert body[2].strip() == "12.35"
+        assert body[3].strip() == "0"
+
+    def test_empty_rows(self):
+        table = render_table(["a"], [])
+        assert len(table.splitlines()) == 2

@@ -1,0 +1,74 @@
+"""ASCII timeline rendering."""
+
+import pytest
+
+from repro.analysis.timeline import (render_allocation_staircase,
+                                     render_core_map, render_node_map)
+from repro.errors import ReproError
+from repro.experiments.fig05_migration_os import ThreadTimeline
+
+
+def timeline(tid, placements):
+    t = ThreadTimeline(tid)
+    t.placements.extend(placements)
+    return t
+
+
+def test_node_map_one_row_per_thread():
+    timelines = [
+        timeline(1, [(0.0, 0, 0), (0.5, 4, 1)]),
+        timeline(2, [(0.0, 8, 2)]),
+    ]
+    text = render_node_map(timelines, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + 2 threads
+    assert lines[1].startswith("T1")
+    assert "1" in lines[1]          # thread 1 ends on node 1
+    assert lines[2].rstrip().endswith("2" * 1) or "2" in lines[2]
+
+
+def test_node_map_carries_placement_forward():
+    text = render_node_map([timeline(1, [(0.0, 0, 0), (1.0, 4, 1)])],
+                           width=10)
+    row = text.splitlines()[1].split(None, 1)[1]
+    # first half node 0, second half node 1
+    assert row[2] == "0"
+    assert row[-1] == "1"
+
+
+def test_core_map_uses_hex():
+    text = render_core_map([timeline(1, [(0.0, 15, 3)])], width=4)
+    assert "f" in text.splitlines()[1]
+
+
+def test_empty_timelines():
+    assert "no placements" in render_node_map([])
+    assert "no placements" in render_core_map([])
+
+
+def test_title_prepended():
+    text = render_node_map([timeline(1, [(0.0, 0, 0)])], width=4,
+                           title="MAP")
+    assert text.splitlines()[0] == "MAP"
+
+
+def test_staircase_renders_bars():
+    transitions = [(0.02 * i, "t2-Stable-t3", 40.0, 4 + i)
+                   for i in range(8)]
+    text = render_allocation_staircase(transitions, n_total=16)
+    lines = text.splitlines()
+    assert len(lines) == 8
+    bars = [line.split("|")[1] for line in lines]
+    assert bars[0].count("#") == 4
+    assert bars[-1].count("#") == 11
+    assert all(len(bar) == 16 for bar in bars)
+
+
+def test_staircase_empty():
+    assert "no transitions" in render_allocation_staircase([])
+
+
+def test_bucketise_rejects_empty_span():
+    from repro.analysis.timeline import _bucketise
+    with pytest.raises(ReproError):
+        _bucketise([], 1.0, 1.0, 10)

@@ -1,0 +1,58 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_every_experiment_is_registered():
+    expected = {"fig4", "fig5", "fig6", "fig7", "fig13", "fig14",
+                "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+                "overhead", "sla", "oltp", "ablation-thresholds",
+                "ablation-strategies", "ablation-parallelism",
+                "predicate-aware", "morsel", "ablation-autonuma"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_command_prints_table(capsys):
+    code = main(["run", "fig6", "--scale", "0.004",
+                 "--sim-scale", "0.125"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Tomograph" in out
+    assert "algebra.thetasubselect" in out
+
+
+def test_run_rejects_inapplicable_option(capsys):
+    code = main(["run", "fig6", "--users", "1,2"])
+    assert code == 2
+    assert "does not accept" in capsys.readouterr().err
+
+
+def test_run_parses_users_tuple(capsys):
+    code = main(["run", "fig13", "--users", "1,2", "--repetitions", "1",
+                 "--scale", "0.004", "--sim-scale", "0.125"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "thetasubselect vs concurrency" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "--workload", "q6", "--clients", "2",
+                 "--repetitions", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "monetdb/OS" in out
+    assert "monetdb/adaptive" in out

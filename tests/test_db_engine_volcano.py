@@ -1,0 +1,169 @@
+"""Engines and the Volcano executor: staged execution on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.db.catalog import Catalog, Table
+from repro.db.clients import ClientPool, repeat_stream
+from repro.db.engine import MonetDBLike
+from repro.db.expressions import Col, gt
+from repro.db.numa_aware import NumaAwareEngine
+from repro.db.operators import Aggregate, Filter, Scan
+from repro.errors import DatabaseError, WorkloadError
+from repro.hardware.prebuilt import small_numa
+from repro.opsys.system import OperatingSystem
+from repro.sim.tracing import QueryRecord, StageRecord
+
+
+def make_catalog():
+    rng = np.random.default_rng(3)
+    catalog = Catalog()
+    catalog.add(Table("fact", {
+        "k": rng.integers(0, 100, 20_000),
+        "v": rng.uniform(0, 100, 20_000),
+    }, byte_scale=30.0))
+    return catalog
+
+
+def simple_query():
+    return Aggregate(Filter(Scan("fact"), gt(Col("v"), 50)), [],
+                     {"n": ("count", None)})
+
+
+@pytest.fixture
+def engine():
+    os_ = OperatingSystem(small_numa())
+    eng = MonetDBLike(os_, make_catalog(), byte_scale=30.0)
+    eng.load()
+    os_.counters.reset()
+    eng.register_query("count_big", simple_query())
+    return eng
+
+
+class TestEngineBasics:
+    def test_submit_before_load_rejected(self):
+        os_ = OperatingSystem(small_numa())
+        eng = MonetDBLike(os_, make_catalog(), byte_scale=30.0)
+        eng.register_query("q", simple_query())
+        with pytest.raises(DatabaseError):
+            eng.submit("q")
+
+    def test_duplicate_registration_rejected(self, engine):
+        with pytest.raises(DatabaseError):
+            engine.register_query("count_big", simple_query())
+
+    def test_unknown_query_rejected(self, engine):
+        with pytest.raises(DatabaseError):
+            engine.submit("missing")
+
+    def test_profile_cached(self, engine):
+        first = engine.profile("count_big")
+        assert engine.profile("count_big") is first
+
+    def test_run_to_completion(self, engine):
+        execution = engine.run_to_completion("count_big")
+        assert execution.finished
+        assert execution.elapsed > 0
+
+    def test_worker_count_follows_mask(self, engine):
+        assert engine.worker_count() == 4
+        engine.os.cpuset.set_mask([0, 1])
+        assert engine.worker_count() == 2
+
+    def test_worker_count_fixed_when_configured(self):
+        os_ = OperatingSystem(small_numa())
+        eng = MonetDBLike(os_, make_catalog(), byte_scale=30.0,
+                          config=EngineConfig(workers_follow_mask=False,
+                                              loader_node=0))
+        os_.cpuset.set_mask([0])
+        assert eng.worker_count() == 4
+
+
+class TestVolcanoExecution:
+    def test_stage_barrier_ordering(self, engine):
+        engine.run_to_completion("count_big")
+        records = engine.os.tracer.of(StageRecord)
+        by_label = {}
+        for record in records:
+            by_label.setdefault(record.operator, []).append(record)
+        select_end = max(r.time for r in by_label["algebra.select"])
+        partial_start = min(r.start_time
+                            for r in by_label["aggr.group.partial"])
+        assert partial_start >= select_end
+
+    def test_parallel_stage_fans_out(self, engine):
+        engine.run_to_completion("count_big")
+        selects = [r for r in engine.os.tracer.of(StageRecord)
+                   if r.operator == "algebra.select"]
+        assert len(selects) == 4  # one per visible core
+
+    def test_query_record_emitted(self, engine):
+        engine.run_to_completion("count_big")
+        records = engine.os.tracer.of(QueryRecord)
+        assert len(records) == 1
+        assert records[0].query_name == "count_big"
+
+    def test_intermediates_freed_after_query(self, engine):
+        memory = engine.os.machine.memory
+        base_pages = sum(memory.placement_histogram())
+        engine.run_to_completion("count_big")
+        assert sum(memory.placement_histogram()) == base_pages
+
+    def test_concurrent_queries_complete(self, engine):
+        for _ in range(3):
+            engine.submit("count_big")
+        engine.os.run_until_idle()
+        assert len(engine.os.tracer.of(QueryRecord)) == 3
+
+
+class TestNumaAwareEngine:
+    def test_chunked_load_spreads_data(self):
+        os_ = OperatingSystem(small_numa())
+        eng = NumaAwareEngine(os_, make_catalog(), byte_scale=30.0)
+        eng.load()
+        histogram = os_.machine.memory.placement_histogram()
+        assert all(v > 0 for v in histogram)
+
+    def test_workers_node_affined(self):
+        os_ = OperatingSystem(small_numa())
+        eng = NumaAwareEngine(os_, make_catalog(), byte_scale=30.0)
+        eng.load()
+        os_.counters.reset()
+        eng.register_query("q", simple_query())
+        execution = eng.submit("q")
+        nodes = {w.pinned_node for w in execution.workers}
+        assert nodes == {0, 1}
+        os_.run_until_idle()
+        assert execution.finished
+
+    def test_small_queries_rotate_nodes(self):
+        os_ = OperatingSystem(small_numa())
+        eng = NumaAwareEngine(os_, make_catalog(), byte_scale=30.0)
+        first = eng.pinned_nodes(1)
+        second = eng.pinned_nodes(1)
+        assert first != second
+
+
+class TestClientPool:
+    def test_closed_loop_completes_all(self, engine):
+        pool = ClientPool(engine, 3, repeat_stream("count_big", 2))
+        result = pool.run()
+        assert result.queries_completed == 6
+        assert result.throughput > 0
+        assert len(result.latencies("count_big")) == 6
+        assert result.mean_latency() > 0
+
+    def test_double_start_rejected(self, engine):
+        pool = ClientPool(engine, 1, repeat_stream("count_big", 1))
+        pool.run()
+        with pytest.raises(WorkloadError):
+            pool.start()
+
+    def test_zero_clients_rejected(self, engine):
+        with pytest.raises(WorkloadError):
+            ClientPool(engine, 0, repeat_stream("count_big", 1))
+
+    def test_repeat_stream_validates(self):
+        with pytest.raises(WorkloadError):
+            repeat_stream("q", 0)

@@ -1,0 +1,107 @@
+"""Expression trees: evaluation and column tracking."""
+
+import numpy as np
+import pytest
+
+from repro.db.expressions import (And, Between, Case, Col, Const, Floor,
+                                  InList, Not, Or, eq, ge, gt, le, lt, ne)
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def env():
+    return {
+        "a": np.array([1.0, 2.0, 3.0, 4.0]),
+        "b": np.array([4.0, 3.0, 2.0, 1.0]),
+        "k": np.array([0, 1, 2, 3]),
+    }
+
+
+def test_col_and_const(env):
+    np.testing.assert_array_equal(Col("a").evaluate(env), env["a"])
+    assert Const(7).evaluate(env) == 7
+
+
+def test_unknown_column_rejected(env):
+    with pytest.raises(PlanError):
+        Col("missing").evaluate(env)
+
+
+def test_arithmetic_operators(env):
+    np.testing.assert_allclose((Col("a") + Col("b")).evaluate(env),
+                               [5.0] * 4)
+    np.testing.assert_allclose((Col("a") * 2).evaluate(env),
+                               [2, 4, 6, 8])
+    np.testing.assert_allclose((10 - Col("a")).evaluate(env),
+                               [9, 8, 7, 6])
+    np.testing.assert_allclose((Col("a") / Col("b")).evaluate(env),
+                               [0.25, 2 / 3, 1.5, 4.0])
+
+
+def test_comparisons(env):
+    np.testing.assert_array_equal(lt(Col("a"), 3).evaluate(env),
+                                  [True, True, False, False])
+    np.testing.assert_array_equal(ge(Col("a"), Col("b")).evaluate(env),
+                                  [False, False, True, True])
+    np.testing.assert_array_equal(eq(Col("k"), 2).evaluate(env),
+                                  [False, False, True, False])
+    np.testing.assert_array_equal(ne(Col("k"), 2).evaluate(env),
+                                  [True, True, False, True])
+    np.testing.assert_array_equal(le(Col("a"), 1).evaluate(env),
+                                  [True, False, False, False])
+    np.testing.assert_array_equal(gt(Col("a"), 3.5).evaluate(env),
+                                  [False, False, False, True])
+
+
+def test_boolean_connectives(env):
+    expr = And(gt(Col("a"), 1), lt(Col("a"), 4))
+    np.testing.assert_array_equal(expr.evaluate(env),
+                                  [False, True, True, False])
+    expr = Or(eq(Col("k"), 0), eq(Col("k"), 3))
+    np.testing.assert_array_equal(expr.evaluate(env),
+                                  [True, False, False, True])
+    np.testing.assert_array_equal(Not(eq(Col("k"), 0)).evaluate(env),
+                                  [False, True, True, True])
+
+
+def test_empty_connectives_rejected():
+    with pytest.raises(PlanError):
+        And()
+    with pytest.raises(PlanError):
+        Or()
+
+
+def test_between_inclusive(env):
+    np.testing.assert_array_equal(
+        Between(Col("a"), 2, 3).evaluate(env),
+        [False, True, True, False])
+
+
+def test_in_list(env):
+    np.testing.assert_array_equal(
+        InList(Col("k"), [1, 3]).evaluate(env),
+        [False, True, False, True])
+    with pytest.raises(PlanError):
+        InList(Col("k"), [])
+
+
+def test_case(env):
+    expr = Case(gt(Col("a"), 2), Col("a"), Const(0.0))
+    np.testing.assert_allclose(expr.evaluate(env), [0, 0, 3, 4])
+
+
+def test_floor(env):
+    expr = Floor(Col("a") / 2)
+    result = expr.evaluate(env)
+    np.testing.assert_array_equal(result, [0, 1, 1, 2])
+    assert result.dtype == np.int64
+
+
+def test_columns_tracking():
+    expr = And(gt(Col("a"), 1), Between(Col("b"), Col("c"), 5))
+    assert expr.columns() == {"a", "b", "c"}
+    assert Const(1).columns() == set()
+    assert Case(eq(Col("x"), 1), Col("y"), Col("z")).columns() \
+        == {"x", "y", "z"}
+    assert Floor(Col("d")).columns() == {"d"}
+    assert InList(Col("m"), [1]).columns() == {"m"}

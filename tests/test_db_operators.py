@@ -1,0 +1,186 @@
+"""Logical operators: numpy-level correctness against hand oracles."""
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import Catalog, Table
+from repro.db.expressions import Col, gt, lt
+from repro.db.operators import (Aggregate, Distinct, Filter, Join, Limit,
+                                OrderBy, Project, Scan, relation_bytes,
+                                relation_rows)
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add(Table("t", {
+        "k": np.array([1, 2, 3, 4, 5]),
+        "v": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+        "g": np.array([0, 1, 0, 1, 0]),
+    }))
+    catalog.add(Table("dim", {
+        "dk": np.array([2, 4, 6]),
+        "name": np.array([200, 400, 600]),
+    }))
+    return catalog
+
+
+def test_relation_helpers():
+    rel = {"a": np.zeros(4), "b": np.zeros(4)}
+    assert relation_rows(rel) == 4
+    assert relation_rows({}) == 0
+    assert relation_bytes(rel) == 64
+
+
+def test_scan_full_and_subset(catalog):
+    assert set(Scan("t").evaluate(catalog)) == {"k", "v", "g"}
+    assert set(Scan("t", ["k"]).evaluate(catalog)) == {"k"}
+
+
+def test_filter_with_keep(catalog):
+    rel = Filter(Scan("t"), gt(Col("v"), 25), keep=["k"]) \
+        .evaluate(catalog)
+    np.testing.assert_array_equal(rel["k"], [3, 4, 5])
+    assert set(rel) == {"k"}
+
+
+def test_project_expressions_and_broadcast(catalog):
+    rel = Project(Scan("t"), {"double": Col("v") * 2,
+                              "flag": Col("g")}).evaluate(catalog)
+    np.testing.assert_allclose(rel["double"], [20, 40, 60, 80, 100])
+    assert relation_rows(rel) == 5
+
+
+def test_project_requires_outputs(catalog):
+    with pytest.raises(PlanError):
+        Project(Scan("t"), {})
+
+
+class TestJoin:
+    def test_inner_join(self, catalog):
+        rel = Join(Scan("t"), Scan("dim"), ["k"], ["dk"]) \
+            .evaluate(catalog)
+        np.testing.assert_array_equal(rel["k"], [2, 4])
+        np.testing.assert_array_equal(rel["name"], [200, 400])
+
+    def test_inner_join_with_duplicates(self, catalog):
+        catalog.add(Table("dup", {"dk": np.array([2, 2]),
+                                  "w": np.array([7, 8])}))
+        rel = Join(Scan("t", ["k"]), Scan("dup"), ["k"], ["dk"]) \
+            .evaluate(catalog)
+        np.testing.assert_array_equal(rel["k"], [2, 2])
+        assert sorted(rel["w"]) == [7, 8]
+
+    def test_semi_and_anti(self, catalog):
+        semi = Join(Scan("t", ["k"]), Scan("dim"), ["k"], ["dk"],
+                    how="semi").evaluate(catalog)
+        np.testing.assert_array_equal(semi["k"], [2, 4])
+        anti = Join(Scan("t", ["k"]), Scan("dim"), ["k"], ["dk"],
+                    how="anti").evaluate(catalog)
+        np.testing.assert_array_equal(anti["k"], [1, 3, 5])
+
+    def test_left_join_fills_unmatched(self, catalog):
+        rel = Join(Scan("t", ["k"]), Scan("dim"), ["k"], ["dk"],
+                   how="left", fill=-1).evaluate(catalog)
+        assert relation_rows(rel) == 5
+        by_key = dict(zip(rel["k"].tolist(), rel["name"].tolist()))
+        assert by_key == {1: -1, 2: 200, 3: -1, 4: 400, 5: -1}
+
+    def test_multi_key_join(self, catalog):
+        catalog.add(Table("pair", {
+            "a": np.array([1, 2, 3]),
+            "b": np.array([0, 1, 0]),
+            "payload": np.array([11, 22, 33]),
+        }))
+        rel = Join(Scan("t"), Scan("pair"), ["k", "g"], ["a", "b"],
+                   keep_left=["k"]).evaluate(catalog)
+        np.testing.assert_array_equal(sorted(rel["payload"]), [11, 22, 33])
+
+    def test_empty_build_side(self, catalog):
+        catalog.add(Table("empty", {"dk": np.array([], dtype=np.int64)}))
+        inner = Join(Scan("t", ["k"]), Scan("empty"), ["k"], ["dk"]) \
+            .evaluate(catalog)
+        assert relation_rows(inner) == 0
+        left = Join(Scan("t", ["k"]), Scan("empty"), ["k"], ["dk"],
+                    how="left").evaluate(catalog)
+        assert relation_rows(left) == 5
+
+    def test_bad_join_args(self, catalog):
+        with pytest.raises(PlanError):
+            Join(Scan("t"), Scan("dim"), ["k"], ["dk"], how="outer")
+        with pytest.raises(PlanError):
+            Join(Scan("t"), Scan("dim"), [], [])
+        with pytest.raises(PlanError):
+            Join(Scan("t"), Scan("dim"), ["k"], ["dk", "name"])
+
+
+class TestAggregate:
+    def test_grouped_sums_and_counts(self, catalog):
+        rel = Aggregate(Scan("t"), ["g"], {
+            "total": ("sum", Col("v")),
+            "n": ("count", None),
+        }).evaluate(catalog)
+        by_group = {int(g): (t, n) for g, t, n in
+                    zip(rel["g"], rel["total"], rel["n"])}
+        assert by_group[0] == (90.0, 3)
+        assert by_group[1] == (60.0, 2)
+
+    def test_avg_min_max(self, catalog):
+        rel = Aggregate(Scan("t"), [], {
+            "avg_v": ("avg", Col("v")),
+            "min_v": ("min", Col("v")),
+            "max_v": ("max", Col("v")),
+        }).evaluate(catalog)
+        assert rel["avg_v"][0] == pytest.approx(30.0)
+        assert rel["min_v"][0] == 10.0
+        assert rel["max_v"][0] == 50.0
+
+    def test_count_distinct(self, catalog):
+        catalog.add(Table("cd", {
+            "g": np.array([0, 0, 0, 1, 1]),
+            "x": np.array([5, 5, 6, 7, 7]),
+        }))
+        rel = Aggregate(Scan("cd"), ["g"], {
+            "d": ("count_distinct", Col("x")),
+        }).evaluate(catalog)
+        assert dict(zip(rel["g"].tolist(), rel["d"].tolist())) \
+            == {0: 2, 1: 1}
+
+    def test_unknown_aggregate_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            Aggregate(Scan("t"), [], {"x": ("median", Col("v"))})
+        with pytest.raises(PlanError):
+            Aggregate(Scan("t"), [], {"x": ("sum", None)})
+
+    def test_empty_input_grouped(self, catalog):
+        rel = Aggregate(
+            Filter(Scan("t"), gt(Col("v"), 1000)), ["g"],
+            {"n": ("count", None)}).evaluate(catalog)
+        assert relation_rows(rel) == 0
+
+
+def test_distinct(catalog):
+    catalog.add(Table("d", {"x": np.array([3, 1, 3, 2, 1])}))
+    rel = Distinct(Scan("d"), ["x"]).evaluate(catalog)
+    np.testing.assert_array_equal(rel["x"], [3, 1, 2])
+
+
+def test_order_by_multi_key(catalog):
+    rel = OrderBy(Scan("t"), ["g", "v"], [True, False]).evaluate(catalog)
+    np.testing.assert_array_equal(rel["g"], [0, 0, 0, 1, 1])
+    np.testing.assert_allclose(rel["v"], [50, 30, 10, 40, 20])
+
+
+def test_limit(catalog):
+    rel = Limit(OrderBy(Scan("t"), ["v"], [False]), 2).evaluate(catalog)
+    np.testing.assert_allclose(rel["v"], [50, 40])
+    with pytest.raises(PlanError):
+        Limit(Scan("t"), -1)
+
+
+def test_having_pattern(catalog):
+    """Filter over an aggregate output (SQL HAVING)."""
+    agg = Aggregate(Scan("t"), ["g"], {"total": ("sum", Col("v"))})
+    rel = Filter(agg, lt(Col("total"), 80)).evaluate(catalog)
+    np.testing.assert_array_equal(rel["g"], [1])

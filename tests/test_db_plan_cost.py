@@ -1,0 +1,182 @@
+"""Profiler and compiler: stage structure, wiring, instantiation."""
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import Catalog, Table
+from repro.db.cost import CostModel, compile_profile
+from repro.db.expressions import Col, gt
+from repro.db.operators import (Aggregate, Filter, Join, Limit, OrderBy,
+                                Project, Scan)
+from repro.db.plan import profile_query
+from repro.hardware.machine import Machine
+from repro.hardware.prebuilt import small_numa
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add(Table("fact", {
+        "k": np.arange(50_000) % 500,
+        "v": np.random.default_rng(0).uniform(0, 100, 50_000),
+    }, byte_scale=20.0))
+    catalog.add(Table("dim", {
+        "dk": np.arange(500),
+        "w": np.arange(500) * 1.0,
+    }, byte_scale=20.0))
+    return catalog
+
+
+def test_filter_profile_reads_base_columns(catalog):
+    plan = Filter(Scan("fact"), gt(Col("v"), 50), keep=["k"])
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    select = profile.stages[0]
+    assert select.label == "algebra.select"
+    assert set(select.base_reads) == {("fact", "k"), ("fact", "v")}
+    assert select.parallel
+    assert select.output_bytes > 0
+    # final stage is the result shipment, serial
+    assert profile.stages[-1].label == "sql.resultSet"
+    assert not profile.stages[-1].parallel
+
+
+def test_profile_result_matches_real_execution(catalog):
+    plan = Aggregate(Filter(Scan("fact"), gt(Col("v"), 50)), [],
+                     {"n": ("count", None)})
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    direct = plan.evaluate(catalog)
+    assert profile.result["n"][0] == direct["n"][0]
+    assert profile.result_rows == 1
+
+
+def test_join_produces_build_and_probe_stages(catalog):
+    plan = Join(Scan("fact"), Scan("dim"), ["k"], ["dk"])
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    labels = [s.label for s in profile.stages]
+    assert "join.build" in labels
+    probe = profile.stages[labels.index("algebra.join")]
+    build_idx = labels.index("join.build")
+    assert probe.shared_consumes == (build_idx,)
+
+
+def test_aggregate_partial_final_pair(catalog):
+    plan = Aggregate(Scan("fact"), ["k"], {"s": ("sum", Col("v"))})
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    labels = [s.label for s in profile.stages]
+    partial = profile.stages[labels.index("aggr.group.partial")]
+    final = profile.stages[labels.index("aggr.group.final")]
+    assert partial.output_per_worker
+    assert partial.parallel
+    assert not final.parallel
+
+
+def test_orderby_limit_stages(catalog):
+    plan = Limit(OrderBy(Scan("fact"), ["v"]), 10)
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    labels = [s.label for s in profile.stages]
+    assert "algebra.sort.partial" in labels
+    assert "algebra.sort.merge" in labels
+    assert "algebra.slice" in labels
+
+
+def test_mal_name_override(catalog):
+    plan = Filter(Scan("fact"), gt(Col("v"), 0), keep=["v"])
+    plan.mal_name = "algebra.thetasubselect"
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    assert profile.stages[0].label == "algebra.thetasubselect"
+
+
+def test_project_tracks_expression_columns(catalog):
+    plan = Project(Scan("fact"), {"x": Col("v") * 2})
+    profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+    assert profile.stages[0].base_reads == (("fact", "v"),)
+
+
+class TestCostModel:
+    def test_minimum_stage_cycles(self):
+        cost = CostModel()
+        assert cost.select_cycles(0) == cost.min_stage_cycles
+        assert cost.agg_final_cycles(1) == cost.min_stage_cycles
+
+    def test_costs_scale_with_bytes(self):
+        cost = CostModel()
+        assert cost.select_cycles(2e9) == pytest.approx(
+            2 * cost.select_cycles(1e9))
+
+    def test_hash_table_overhead(self):
+        cost = CostModel()
+        assert cost.hash_table_bytes(100) == pytest.approx(
+            100 * cost.hash_table_factor)
+
+    def test_sort_grows_with_log_rows(self):
+        cost = CostModel()
+        assert cost.sort_cycles(1e9, 1 << 20) > cost.sort_cycles(1e9, 2)
+
+
+class TestCompiler:
+    @staticmethod
+    def _load(catalog):
+        from repro.opsys.vm import VirtualMemory
+        machine = Machine(small_numa())
+        catalog.load(VirtualMemory(machine), policy="single_node")
+        return machine
+
+    def _compiled(self, catalog, n_workers):
+        machine = self._load(catalog)
+        plan = Aggregate(Filter(Scan("fact"), gt(Col("v"), 50)), ["k"],
+                         {"s": ("sum", Col("v"))})
+        profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+        return compile_profile(profile, catalog, n_workers,
+                               machine.memory), profile
+
+    def test_parallel_stage_items_match_workers(self, catalog):
+        compiled, profile = self._compiled(catalog, 4)
+        for stage, items in zip(profile.stages, compiled.stage_items):
+            assert len(items) == (4 if stage.parallel else 1)
+
+    def test_base_pages_partitioned_without_overlap(self, catalog):
+        compiled, profile = self._compiled(catalog, 4)
+        first = compiled.stage_items[0]
+        seen = set()
+        for item in first:
+            pages = set(item.reads)
+            assert not (pages & seen)
+            seen |= pages
+        total = sum(len(catalog.table("fact").bat(c).pages)
+                    for c in ("k", "v"))
+        assert len(seen) == total
+
+    def test_consumers_read_producer_pages(self, catalog):
+        compiled, profile = self._compiled(catalog, 2)
+        select_writes = {p for item in compiled.stage_items[0]
+                         for p in item.writes}
+        partial_reads = {p for item in compiled.stage_items[1]
+                         for p in item.reads}
+        assert select_writes and select_writes <= partial_reads \
+            | select_writes
+        assert select_writes & partial_reads == select_writes
+
+    def test_intermediates_tracked_for_freeing(self, catalog):
+        compiled, _ = self._compiled(catalog, 2)
+        writes = {p for items in compiled.stage_items
+                  for item in items for p in item.writes}
+        assert writes <= set(compiled.intermediate_pages)
+
+    def test_partition_overhead_included(self, catalog):
+        machine = self._load(catalog)
+        plan = Filter(Scan("fact"), gt(Col("v"), 50), keep=["v"])
+        profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+        cost = CostModel()
+        compiled = compile_profile(profile, catalog, 4, machine.memory,
+                                   cost)
+        item = compiled.stage_items[0][0]
+        expected = (profile.stages[0].cycles / 4
+                    + cost.partition_overhead_cycles)
+        assert item.cycles == pytest.approx(expected)
+
+    def test_zero_workers_rejected(self, catalog):
+        machine = Machine(small_numa())
+        plan = Scan("fact")
+        profile = profile_query(plan, catalog, "q", byte_scale=20.0)
+        with pytest.raises(Exception):
+            compile_profile(profile, catalog, 0, machine.memory)

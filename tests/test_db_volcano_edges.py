@@ -1,0 +1,97 @@
+"""Volcano executor corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import Catalog, Table
+from repro.db.engine import MonetDBLike
+from repro.db.expressions import Col, gt
+from repro.db.operators import Aggregate, Filter, Scan
+from repro.hardware.prebuilt import small_numa
+from repro.opsys.system import OperatingSystem
+
+
+def make_engine(n_rows=10_000):
+    rng = np.random.default_rng(1)
+    catalog = Catalog()
+    catalog.add(Table("fact", {
+        "k": rng.integers(0, 10, n_rows),
+        "v": rng.uniform(0, 100, n_rows),
+    }, byte_scale=20.0))
+    os_ = OperatingSystem(small_numa())
+    engine = MonetDBLike(os_, catalog, byte_scale=20.0)
+    engine.load()
+    os_.counters.reset()
+    engine.register_query(
+        "q", Aggregate(Filter(Scan("fact"), gt(Col("v"), 50)), [],
+                       {"n": ("count", None)}))
+    return os_, engine
+
+
+def test_double_start_rejected():
+    os_, engine = make_engine()
+    execution = engine.submit("q")
+    with pytest.raises(RuntimeError):
+        execution.start(2)
+    os_.run_until_idle()
+
+
+def test_elapsed_before_finish_rejected():
+    os_, engine = make_engine()
+    execution = engine.submit("q")
+    with pytest.raises(RuntimeError):
+        _ = execution.elapsed
+    os_.run_until_idle()
+    assert execution.elapsed > 0
+
+
+def test_single_worker_execution():
+    os_, engine = make_engine()
+    os_.cpuset.set_mask([0])
+    execution = engine.submit("q")
+    assert len(execution.workers) == 1
+    os_.run_until_idle()
+    assert execution.finished
+
+
+def test_mask_shrink_mid_query_still_completes():
+    os_, engine = make_engine(n_rows=60_000)
+    execution = engine.submit("q")
+    os_.run(until=0.005)
+    os_.cpuset.set_mask([0])
+    os_.run_until_idle()
+    assert execution.finished
+    # no thread escaped the shrunken mask at the end
+    busy_after = os_.counters.by_index("busy_time")
+    assert busy_after  # sanity
+
+
+def test_mask_grow_mid_run_spreads_concurrent_queries():
+    os_, engine = make_engine(n_rows=120_000)
+    os_.cpuset.set_mask([0])
+    executions = [engine.submit("q") for _ in range(4)]
+    os_.run(until=0.004)
+    os_.cpuset.set_mask([0, 1, 2, 3])
+    os_.run_until_idle()
+    assert all(e.finished for e in executions)
+    busy = os_.counters.by_index("busy_time")
+    assert len(busy) > 1  # idle pull spread the queued queries
+
+
+def test_on_done_callback_receives_execution():
+    os_, engine = make_engine()
+    seen = []
+    engine.submit("q", client_id=42, on_done=lambda e: seen.append(e))
+    os_.run_until_idle()
+    assert len(seen) == 1
+    assert seen[0].client_id == 42
+    assert seen[0].finished
+
+
+def test_worker_exit_frees_intermediates_exactly_once():
+    os_, engine = make_engine()
+    base_pages = sum(os_.machine.memory.placement_histogram())
+    for _ in range(3):
+        engine.submit("q")
+    os_.run_until_idle()
+    assert sum(os_.machine.memory.placement_histogram()) == base_pages

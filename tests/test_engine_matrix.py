@@ -1,0 +1,52 @@
+"""Cross-product integration: every engine x every mode completes the
+same workload and leaves the system consistent."""
+
+import pytest
+
+from repro.db.clients import repeat_stream
+from repro.experiments.common import build_system
+
+SCALE = 0.004
+SIM = 0.125
+
+ENGINES = ("monetdb", "sqlserver", "morsel")
+MODES = (None, "dense", "sparse", "adaptive")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("mode", MODES)
+def test_engine_mode_matrix(engine, mode):
+    sut = build_system(engine=engine, mode=mode, scale=SCALE,
+                       sim_scale=SIM)
+    sut.mark()
+    result = sut.run_clients(4, repeat_stream("q6", 2))
+    assert result.queries_completed == 8
+    assert sut.os.scheduler.live_threads() == 0
+    # memory accounting is clean (intermediates freed)
+    histogram = sut.os.machine.memory.placement_histogram()
+    assert sum(histogram) > 0
+    if sut.controller is not None:
+        assert sut.controller.model.nalloc == len(sut.os.cpuset)
+        assert 1 <= len(sut.os.cpuset) <= 16
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engines_agree_on_results(engine):
+    """All engines compute the same q6 answer (same oracle)."""
+    sut = build_system(engine=engine, scale=SCALE, sim_scale=SIM)
+    profile = sut.engine.profile("q6")
+    assert profile.result_rows == 1
+    revenue = profile.result["revenue"][0]
+    reference = build_system(engine="monetdb", scale=SCALE,
+                             sim_scale=SIM).engine.profile("q6")
+    assert revenue == pytest.approx(reference.result["revenue"][0])
+
+
+@pytest.mark.parametrize("strategy", ("cpu_load", "ht_imc",
+                                      "useful_load"))
+def test_strategy_matrix(strategy):
+    sut = build_system(engine="monetdb", mode="adaptive",
+                       strategy=strategy, scale=SCALE, sim_scale=SIM)
+    result = sut.run_clients(4, repeat_stream("sel_45pct", 2))
+    assert result.queries_completed == 8
+    assert sut.controller.ticks > 0

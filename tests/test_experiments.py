@@ -1,0 +1,172 @@
+"""Experiment harnesses: structure and key shapes at tiny parameters."""
+
+import pytest
+
+from repro.experiments import (fig04_microbench, fig05_migration_os,
+                               fig06_tomograph, fig07_state_transitions,
+                               fig13_scheduling, fig14_memory,
+                               fig15_selectivity, fig16_migration_modes,
+                               fig17_strategies, fig18_stable_phases,
+                               fig19_mixed_phases, fig20_energy, overhead)
+from repro.experiments.common import build_system, dataset_for
+
+SCALE = 0.004
+SIM = 0.125
+
+
+class TestCommon:
+    def test_dataset_cache_shares_instances(self):
+        a = dataset_for(SCALE, SIM)
+        b = dataset_for(SCALE, SIM)
+        assert a is b
+
+    def test_build_system_labels(self):
+        assert build_system(scale=SCALE, sim_scale=SIM).label \
+            == "monetdb/OS"
+        assert build_system(mode="adaptive", scale=SCALE,
+                            sim_scale=SIM).label == "monetdb/adaptive"
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            build_system(engine="oracle", scale=SCALE, sim_scale=SIM)
+
+
+class TestFig04:
+    def test_series_complete_and_positive(self):
+        result = fig04_microbench.run(users=(1, 4), repetitions=1,
+                                      scale=SCALE, sim_scale=SIM)
+        assert set(result.series) == {"dense/C", "sparse/C", "os/C",
+                                      "os/monetdb"}
+        for variant in result.series:
+            for users in (1, 4):
+                assert result.throughput(variant, users) > 0
+
+    def test_engine_moves_more_data_than_dense_kernel(self):
+        result = fig04_microbench.run(users=(4,), repetitions=1,
+                                      scale=SCALE, sim_scale=SIM)
+        assert result.ht_mb_per_s("os/monetdb", 4) \
+            > result.ht_mb_per_s("dense/C", 4)
+
+    def test_table_renders(self):
+        result = fig04_microbench.run(users=(1,), repetitions=1,
+                                      scale=SCALE, sim_scale=SIM)
+        assert "Fig 4" in result.table()
+
+
+class TestFig05And06:
+    def test_fig05_os_migrates_across_nodes(self):
+        result = fig05_migration_os.run(scale=SCALE, sim_scale=SIM)
+        assert result.timelines
+        assert result.total_migrations > 0
+        nodes = set()
+        for timeline in result.timelines:
+            nodes |= timeline.nodes_visited
+        assert len(nodes) > 1
+
+    def test_fig06_tomograph_structure(self):
+        result = fig06_tomograph.run(scale=SCALE, sim_scale=SIM)
+        assert result.n_worker_threads == 16
+        # the scan operator fans out one call per worker
+        assert result.calls_of("algebra.thetasubselect") == 16
+        assert result.calls_of("sql.resultSet") == 1
+        # the scan dominates total time
+        assert result.operators[0].operator == "algebra.thetasubselect"
+
+
+class TestFig07:
+    def test_all_three_states_and_elasticity(self):
+        result = fig07_state_transitions.run(repetitions=5, scale=SCALE,
+                                             sim_scale=SIM)
+        assert result.states_seen() == {"Idle", "Stable", "Overload"}
+        lo, hi = result.core_range()
+        assert lo == 1 and hi > 1
+        # the idle tail releases back toward the minimum
+        assert result.transitions[-1][3] == 1
+        assert "t1-Overload-t5" in result.chains()
+        assert "t0-Idle-t4" in result.chains()
+
+
+class TestFig13Through15:
+    def test_fig13_cells_and_steal_shape(self):
+        result = fig13_scheduling.run(users=(4, 8), repetitions=2,
+                                      scale=SCALE, sim_scale=SIM)
+        os_cell = result.cell(None, 8)
+        adaptive = result.cell("adaptive", 8)
+        assert os_cell.throughput > 0
+        assert adaptive.tasks > 0
+        assert 0 < os_cell.cpu_load <= 100
+
+    def test_fig14_memory_shapes(self):
+        result = fig14_memory.run(n_clients=8, repetitions=2,
+                                  scale=SCALE, sim_scale=SIM)
+        os_cell = result.cell(None)
+        adaptive = result.cell("adaptive")
+        assert adaptive.ht_traffic < os_cell.ht_traffic
+        assert set(os_cell.mem_tp_by_socket) == {0, 1, 2, 3}
+
+    def test_fig15_misses_grow_with_selectivity(self):
+        result = fig15_selectivity.run(levels=(0.02, 1.0), n_clients=4,
+                                       scale=SCALE, sim_scale=SIM)
+        for mode in (None, "adaptive"):
+            assert result.total(mode, 1.0) > result.total(mode, 0.02)
+
+
+class TestFig16And17:
+    def test_fig16_controlled_modes_migrate_less(self):
+        result = fig16_migration_modes.run(repetitions=1, warmup=2,
+                                           scale=SCALE, sim_scale=SIM)
+        os_cell = result.cell(None)
+        for mode in ("dense", "adaptive"):
+            assert result.cell(mode).migrations < os_cell.migrations
+        assert result.cell("dense").nodes_used <= os_cell.nodes_used
+
+    def test_fig17_traffic_reduction(self):
+        result = fig17_strategies.run(repetitions=2, warmup=3,
+                                      scale=SCALE, sim_scale=SIM)
+        os_cell = result.cell(None)
+        adaptive = result.cell("adaptive", "cpu_load")
+        assert adaptive.ht_bytes < os_cell.ht_bytes
+        # both strategies produce cells
+        assert result.cell("dense", "ht_imc").response_time > 0
+
+
+class TestFig18Through20:
+    def test_fig18_timelines(self):
+        result = fig18_stable_phases.run(
+            n_clients=4, scale=SCALE, sim_scale=SIM,
+            queries=["q6", "q13", "q14"])
+        assert len(result.timelines) == 4
+        monetdb_os = result.timelines["monetdb/OS"]
+        assert monetdb_os.samples
+        # MonetDB's loader socket dominates its traffic
+        share = monetdb_os.socket_share()
+        assert share[0] == max(share.values())
+        # SQL Server spreads across sockets
+        sql_share = result.timelines["sqlserver/OS"].socket_share()
+        assert max(sql_share.values()) < 0.5
+
+    def test_fig19_speedups_and_ratios(self):
+        result = fig19_mixed_phases.run(
+            engine="monetdb", n_clients=4, queries_per_client=2,
+            scale=SCALE, sim_scale=SIM, modes=(None, "adaptive"))
+        assert result.runs["OS"].mean_latency
+        assert result.mean_speedup() > 0
+        rows = result.rows()
+        assert rows and all(len(row) == 6 for row in rows)
+
+    def test_fig20_energy_attribution(self):
+        result = fig20_energy.run(n_clients=4, queries_per_client=2,
+                                  scale=SCALE, sim_scale=SIM)
+        assert result.os_energy
+        total = sum(e.total for e in result.os_energy.values())
+        assert total > 0
+        assert -1.0 < result.total_saving() < 1.0
+
+
+class TestOverhead:
+    def test_pipeline_pass_is_fast_and_cheap(self):
+        result = overhead.run(passes=20, scale=SCALE)
+        for mode in ("dense", "sparse", "adaptive"):
+            assert result.per_pass[mode] < 0.005  # well under a tick
+            assert result.cpu_share(mode) < 0.5

@@ -1,0 +1,66 @@
+"""Write invalidations: coherence between sockets' shared caches."""
+
+import pytest
+
+from repro.hardware.machine import Machine
+from repro.hardware.prebuilt import small_numa
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_numa())
+
+
+def _place(machine, n_pages, node):
+    pages = list(machine.memory.allocate(n_pages))
+    for page in pages:
+        machine.memory.place(page, node)
+    return pages
+
+
+def test_write_invalidates_remote_residency(machine):
+    pages = _place(machine, 3, node=0)
+    other_core = machine.topology.cores_of_node(1)[0]
+    machine.touch(0.0, other_core, pages)          # resident in L3 of 1
+    assert all(p in machine.caches[1] for p in pages)
+    machine.touch_write(0.0, 0, pages)             # write from socket 0
+    assert all(p not in machine.caches[1] for p in pages)
+    assert machine.counters.get("l3_invalidations", 1) == 3
+
+
+def test_write_keeps_local_residency(machine):
+    pages = _place(machine, 2, node=0)
+    machine.touch_write(0.0, 0, pages)
+    assert all(p in machine.caches[0] for p in pages)
+    assert machine.counters.total("l3_invalidations") == 0
+
+
+def test_write_counts_like_a_touch(machine):
+    pages = _place(machine, 2, node=1)
+    result = machine.touch_write(0.0, 0, pages)
+    assert result.remote_misses == 2
+    assert machine.counters.get("ht_tx_bytes", 1) > 0
+
+
+def test_invalidations_surface_under_migration_workload():
+    """A writer bouncing between sockets invalidates its own output."""
+    from repro.opsys.system import OperatingSystem
+    from repro.opsys.workitem import ListWorkSource, WorkItem
+
+    os_ = OperatingSystem(small_numa())
+    reads = list(os_.machine.memory.allocate(8))
+    for page in reads:
+        os_.machine.memory.place(page, 0)
+    writes = list(os_.machine.memory.allocate(8))
+    # one item writing the pages from socket 0, then another rewriting
+    # them from socket 1 after socket 0 cached them
+    os_.spawn_thread(ListWorkSource(
+        [WorkItem("w0", reads=reads, writes=writes, cycles=1e6)]),
+        pinned_core=0)
+    os_.run_until_idle()
+    os_.spawn_thread(ListWorkSource(
+        [WorkItem("w1", reads=list(writes), writes=list(writes),
+                  cycles=1e6)]),
+        pinned_core=os_.topology.cores_of_node(1)[0])
+    os_.run_until_idle()
+    assert os_.counters.get("l3_invalidations", 0) > 0

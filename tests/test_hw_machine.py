@@ -1,0 +1,114 @@
+"""Machine: the touch() cost model and counter wiring."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.machine import Machine
+from repro.hardware.prebuilt import small_numa
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_numa())
+
+
+def _place(machine, n_pages, node):
+    pages = list(machine.memory.allocate(n_pages))
+    for page in pages:
+        machine.memory.place(page, node)
+    return pages
+
+
+def test_touch_unplaced_page_rejected(machine):
+    pages = list(machine.memory.allocate(1))
+    with pytest.raises(HardwareError):
+        machine.touch(0.0, 0, pages)
+
+
+def test_local_touch_counts_local_bytes(machine):
+    pages = _place(machine, 4, node=0)
+    result = machine.touch(0.0, 0, pages)  # core 0 is on node 0
+    assert result.misses == 4
+    assert result.remote_misses == 0
+    assert result.bytes_local == 4 * machine.config.page_bytes
+    assert result.bytes_remote == 0
+    assert machine.counters.get("imc_bytes", 0) == result.bytes_local
+    assert machine.counters.total("ht_tx_bytes") == 0
+
+
+def test_remote_touch_moves_bytes_over_fabric(machine):
+    pages = _place(machine, 4, node=1)
+    remote_core = 0  # node 0
+    result = machine.touch(0.0, remote_core, pages)
+    assert result.remote_misses == 4
+    assert result.bytes_remote == 4 * machine.config.page_bytes
+    assert machine.counters.get("ht_tx_bytes", 1) == result.bytes_remote
+    # IMC bytes are counted at the HOME node
+    assert machine.counters.get("imc_bytes", 1) == result.bytes_remote
+
+
+def test_remote_stall_exceeds_local(machine):
+    local_pages = _place(machine, 8, node=0)
+    remote_pages = _place(machine, 8, node=1)
+    local = machine.touch(0.0, 0, local_pages)
+    machine.flush_caches()
+    remote = machine.touch(10.0, 0, remote_pages)
+    assert remote.stall_time > local.stall_time
+
+
+def test_second_touch_hits_cache(machine):
+    pages = _place(machine, 2, node=0)
+    machine.touch(0.0, 0, pages)
+    again = machine.touch(0.0, 0, pages)
+    assert again.hits == 2
+    assert again.misses == 0
+    assert again.stall_time == 0.0
+
+
+def test_cache_is_per_socket(machine):
+    pages = _place(machine, 2, node=0)
+    machine.touch(0.0, 0, pages)          # warm node 0's L3
+    other_socket_core = machine.topology.cores_of_node(1)[0]
+    result = machine.touch(0.0, other_socket_core, pages)
+    assert result.misses == 2             # node 1's L3 was cold
+
+
+def test_l3_counters_attributed_to_accessing_socket(machine):
+    pages = _place(machine, 3, node=0)
+    core_on_node1 = machine.topology.cores_of_node(1)[0]
+    machine.touch(0.0, core_on_node1, pages)
+    assert machine.counters.get("l3_miss", 1) == 3
+    assert machine.counters.get("l3_miss", 0) == 0
+
+
+def test_bank_contention_raises_stalls(machine):
+    first_pages = _place(machine, 16, node=0)
+    second_pages = _place(machine, 16, node=0)
+    quiet = machine.touch(0.0, 0, first_pages)
+    machine.flush_caches()
+    # immediately queue more work on the same bank: it must wait
+    busy = machine.touch(0.0, 1, second_pages)
+    assert busy.stall_time > quiet.stall_time
+
+
+def test_account_busy_accumulates(machine):
+    machine.account_busy(2, 0.25)
+    machine.account_busy(2, 0.25)
+    assert machine.counters.get("busy_time", 2) == pytest.approx(0.5)
+
+
+def test_account_busy_rejects_negative(machine):
+    with pytest.raises(HardwareError):
+        machine.account_busy(0, -1.0)
+
+
+def test_compute_time_uses_frequency(machine):
+    t = machine.compute_time(machine.config.frequency_hz)
+    assert t == pytest.approx(1.0)
+
+
+def test_access_result_total_bytes(machine):
+    pages = _place(machine, 2, node=0) + _place(machine, 2, node=1)
+    result = machine.touch(0.0, 0, pages)
+    assert result.bytes_total == result.bytes_local + result.bytes_remote
+    assert result.bytes_total == 4 * machine.config.page_bytes

@@ -1,0 +1,73 @@
+"""Topology: core/node mapping and distance matrix validation."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import HardwareError
+from repro.hardware.topology import Topology
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology(MachineConfig(n_sockets=4, cores_per_socket=4))
+
+
+def test_core_ids_are_node_major(topo):
+    assert list(topo.cores_of_node(0)) == [0, 1, 2, 3]
+    assert list(topo.cores_of_node(3)) == [12, 13, 14, 15]
+
+
+def test_node_of_core_inverts_cores_of_node(topo):
+    for node in topo.all_nodes():
+        for core in topo.cores_of_node(node):
+            assert topo.node_of_core(core) == node
+
+
+def test_paper_core_mapping(topo):
+    # core(i, j) = d*i + j  (paper §IV-B1)
+    assert topo.core(0, 0) == 0
+    assert topo.core(1, 2) == 6
+    assert topo.core(3, 3) == 15
+
+
+def test_core_mapping_bounds(topo):
+    with pytest.raises(HardwareError):
+        topo.core(0, 4)
+    with pytest.raises(HardwareError):
+        topo.core(4, 0)
+
+
+def test_default_distance_is_flat(topo):
+    for a in topo.all_nodes():
+        for b in topo.all_nodes():
+            expected = 0 if a == b else 1
+            assert topo.distance(a, b) == expected
+
+
+def test_custom_distance_matrix():
+    config = MachineConfig(n_sockets=2, cores_per_socket=2)
+    topo = Topology(config, distance=[[0, 2], [2, 0]])
+    assert topo.distance(0, 1) == 2
+
+
+def test_asymmetric_distance_rejected():
+    config = MachineConfig(n_sockets=2, cores_per_socket=2)
+    with pytest.raises(HardwareError):
+        Topology(config, distance=[[0, 1], [2, 0]])
+
+
+def test_nonzero_self_distance_rejected():
+    config = MachineConfig(n_sockets=2, cores_per_socket=2)
+    with pytest.raises(HardwareError):
+        Topology(config, distance=[[1, 1], [1, 0]])
+
+
+def test_core_out_of_range_rejected(topo):
+    with pytest.raises(HardwareError):
+        topo.node_of_core(16)
+    with pytest.raises(HardwareError):
+        topo.cores_of_node(4)
+
+
+def test_all_cores_enumeration(topo):
+    assert list(topo.all_cores()) == list(range(16))

@@ -1,0 +1,108 @@
+"""AutoNUMA page migration (optional kernel feature)."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.errors import ConfigError
+from repro.hardware.machine import Machine
+from repro.hardware.prebuilt import small_numa
+from repro.opsys.system import OperatingSystem
+from repro.opsys.vm import VirtualMemory
+from repro.opsys.workitem import ListWorkSource, WorkItem
+
+
+@pytest.fixture
+def vm():
+    return VirtualMemory(Machine(small_numa()), numa_balancing=True,
+                         migration_streak=3)
+
+
+def test_streak_of_remote_batches_migrates_page(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)          # first touch: home = 0
+    for _ in range(2):
+        vm.touch_pages([page], node=1)
+        assert vm.machine.memory.home(page) == 0
+    vm.touch_pages([page], node=1)          # third remote batch
+    assert vm.machine.memory.home(page) == 1
+    assert vm.counters.get("numa_page_migrations", 1) == 1
+
+
+def test_local_access_resets_streak(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    vm.touch_pages([page], node=1)
+    vm.touch_pages([page], node=1)
+    vm.touch_pages([page], node=0)          # home-node access resets
+    vm.touch_pages([page], node=1)
+    vm.touch_pages([page], node=1)
+    assert vm.machine.memory.home(page) == 0
+
+
+def test_alternating_nodes_never_migrate(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    for node in (1, 0, 1, 0, 1, 0):
+        vm.touch_pages([page], node=node)
+    assert vm.machine.memory.home(page) == 0
+    assert vm.counters.total("numa_page_migrations") == 0
+
+
+def test_migration_counts_fabric_traffic(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    before = vm.counters.total("ht_tx_bytes")
+    for _ in range(3):
+        vm.touch_pages([page], node=1)
+    moved = vm.counters.total("ht_tx_bytes") - before
+    assert moved >= vm.machine.memory.page_bytes
+
+
+def test_migration_invalidates_caches(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    vm.machine.touch(0.0, 0, [page])        # resident in socket 0's L3
+    assert page in vm.machine.caches[0]
+    vm.migrate_page(page, 1)
+    assert page not in vm.machine.caches[0]
+
+
+def test_migrate_to_same_home_is_a_noop(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    vm.migrate_page(page, 0)
+    assert vm.counters.total("numa_page_migrations") == 0
+
+
+def test_disabled_by_default():
+    vm = VirtualMemory(Machine(small_numa()))
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    for _ in range(10):
+        vm.touch_pages([page], node=1)
+    assert vm.machine.memory.home(page) == 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        SchedulerConfig(numa_migration_streak=0)
+
+
+def test_end_to_end_with_scheduler():
+    """Threads hammering remote data pull it to their node."""
+    os_ = OperatingSystem(small_numa(),
+                          SchedulerConfig(numa_balancing=True,
+                                          numa_migration_streak=2))
+    pages = list(os_.machine.memory.allocate(8))
+    for page in pages:
+        os_.machine.memory.place(page, 1)   # data on node 1
+    # pin workers on node 0 and make them rescan the data repeatedly
+    items = [WorkItem("scan", reads=pages * 6, cycles=5e6)
+             for _ in range(2)]
+    for i, item in enumerate(items):
+        os_.spawn_thread(ListWorkSource([item]), pinned_core=i)
+    os_.run_until_idle()
+    migrated = os_.counters.total("numa_page_migrations")
+    assert migrated > 0
+    homes = {os_.machine.memory.home(p) for p in pages}
+    assert 0 in homes

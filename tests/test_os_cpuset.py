@@ -1,0 +1,91 @@
+"""Cpuset masks: changes, bounds, notification."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.opsys.cpuset import CpuSet
+
+
+def test_defaults_to_all_cores():
+    cpuset = CpuSet(4)
+    assert cpuset.allowed() == frozenset({0, 1, 2, 3})
+    assert len(cpuset) == 4
+
+
+def test_initial_mask_respected():
+    cpuset = CpuSet(4, initial=[1, 3])
+    assert cpuset.allowed_sorted() == [1, 3]
+    assert 0 not in cpuset
+    assert 3 in cpuset
+
+
+def test_allow_and_disallow():
+    cpuset = CpuSet(4, initial=[0])
+    cpuset.allow(2)
+    assert cpuset.is_allowed(2)
+    cpuset.disallow(2)
+    assert not cpuset.is_allowed(2)
+
+
+def test_double_allow_rejected():
+    cpuset = CpuSet(4, initial=[0])
+    with pytest.raises(AllocationError):
+        cpuset.allow(0)
+
+
+def test_disallow_absent_rejected():
+    cpuset = CpuSet(4, initial=[0])
+    with pytest.raises(AllocationError):
+        cpuset.disallow(1)
+
+
+def test_last_core_protected():
+    cpuset = CpuSet(4, initial=[0])
+    with pytest.raises(AllocationError):
+        cpuset.disallow(0)
+
+
+def test_out_of_range_rejected():
+    cpuset = CpuSet(4)
+    with pytest.raises(AllocationError):
+        cpuset.allow(4)
+    with pytest.raises(AllocationError):
+        CpuSet(4, initial=[9])
+
+
+def test_empty_initial_rejected():
+    with pytest.raises(AllocationError):
+        CpuSet(4, initial=[])
+
+
+def test_set_mask_atomic_diff():
+    cpuset = CpuSet(4, initial=[0, 1])
+    events = []
+    cpuset.subscribe(lambda added, removed: events.append(
+        (sorted(added), sorted(removed))))
+    cpuset.set_mask([1, 2, 3])
+    assert events == [([2, 3], [0])]
+    assert cpuset.allowed_sorted() == [1, 2, 3]
+
+
+def test_set_mask_empty_rejected():
+    cpuset = CpuSet(4)
+    with pytest.raises(AllocationError):
+        cpuset.set_mask([])
+
+
+def test_notifications_on_allow_disallow():
+    cpuset = CpuSet(4, initial=[0])
+    events = []
+    cpuset.subscribe(lambda a, r: events.append((set(a), set(r))))
+    cpuset.allow(1)
+    cpuset.disallow(0)
+    assert events == [({1}, set()), (set(), {0})]
+
+
+def test_noop_set_mask_not_notified():
+    cpuset = CpuSet(4, initial=[0, 1])
+    events = []
+    cpuset.subscribe(lambda a, r: events.append(1))
+    cpuset.set_mask([0, 1])
+    assert events == []

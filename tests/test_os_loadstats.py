@@ -1,0 +1,80 @@
+"""Load sampling: busy/useful percentages over windows."""
+
+import pytest
+
+from repro.hardware.machine import Machine
+from repro.hardware.prebuilt import small_numa
+from repro.opsys.cpuset import CpuSet
+from repro.opsys.loadstats import LoadSampler
+
+
+@pytest.fixture
+def setup():
+    machine = Machine(small_numa())
+    cpuset = CpuSet(machine.topology.n_cores)
+    return machine, cpuset, LoadSampler(machine, cpuset)
+
+
+def test_unprimed_sample_is_zero(setup):
+    machine, _, sampler = setup
+    sample = sampler.sample(1.0)
+    assert sample.window == 0.0
+    assert sample.average_allocated == 0.0
+
+
+def test_busy_percentage_over_window(setup):
+    machine, _, sampler = setup
+    sampler.prime(0.0)
+    machine.account_busy(0, 0.5)
+    sample = sampler.sample(1.0)
+    assert sample.per_core_busy[0] == pytest.approx(50.0)
+    assert sample.per_core_busy[1] == 0.0
+
+
+def test_average_allocated_respects_mask(setup):
+    machine, cpuset, sampler = setup
+    cpuset.set_mask([0, 1])
+    sampler.prime(0.0)
+    machine.account_busy(0, 1.0)
+    machine.account_busy(2, 1.0)  # not in the mask: ignored
+    sample = sampler.sample(1.0)
+    assert sample.allocated_cores == (0, 1)
+    assert sample.average_allocated == pytest.approx(50.0)
+
+
+def test_useful_flavour_tracks_useful_counter(setup):
+    machine, _, sampler = setup
+    sampler.prime(0.0)
+    machine.account_busy(0, 1.0)
+    machine.counters.add("useful_time", 0, 0.25)
+    sample = sampler.sample(1.0)
+    assert sample.per_core_useful[0] == pytest.approx(25.0)
+    assert sample.average_useful_allocated < sample.average_allocated
+
+
+def test_percentages_clamped_to_100(setup):
+    machine, _, sampler = setup
+    sampler.prime(0.0)
+    machine.account_busy(0, 5.0)  # more busy than wall (batched account)
+    sample = sampler.sample(1.0)
+    assert sample.per_core_busy[0] == 100.0
+
+
+def test_windows_are_consecutive(setup):
+    machine, _, sampler = setup
+    sampler.prime(0.0)
+    machine.account_busy(0, 1.0)
+    first = sampler.sample(1.0)
+    second = sampler.sample(2.0)  # no new busy time
+    assert first.per_core_busy[0] == pytest.approx(100.0)
+    assert second.per_core_busy[0] == 0.0
+
+
+def test_average_node_over_core_group(setup):
+    machine, _, sampler = setup
+    sampler.prime(0.0)
+    machine.account_busy(0, 1.0)
+    sample = sampler.sample(1.0)
+    node0_cores = list(machine.topology.cores_of_node(0))
+    assert sample.average_node(node0_cores) == pytest.approx(50.0)
+    assert sample.average_node([]) == 0.0

@@ -1,0 +1,83 @@
+"""Virtual memory: first touch, remote-mapping faults, residency feed."""
+
+import pytest
+
+from repro.hardware.machine import Machine
+from repro.hardware.prebuilt import small_numa
+from repro.opsys.thread import SimThread
+from repro.opsys.vm import VirtualMemory
+from repro.opsys.workitem import ListWorkSource
+
+
+@pytest.fixture
+def vm():
+    return VirtualMemory(Machine(small_numa()))
+
+
+def _thread():
+    return SimThread(ListWorkSource())
+
+
+def test_first_touch_places_and_faults(vm):
+    pages = list(vm.machine.memory.allocate(3))
+    faults = vm.touch_pages(pages, node=1)
+    assert faults == 3
+    assert all(vm.machine.memory.home(p) == 1 for p in pages)
+    assert vm.machine.counters.get("minor_faults", 1) == 3
+
+
+def test_repeat_touch_same_node_no_fault(vm):
+    pages = list(vm.machine.memory.allocate(2))
+    vm.touch_pages(pages, node=0)
+    assert vm.touch_pages(pages, node=0) == 0
+
+
+def test_remote_mapping_faults_once_per_node(vm):
+    pages = list(vm.machine.memory.allocate(2))
+    vm.touch_pages(pages, node=0)
+    assert vm.touch_pages(pages, node=1) == 2   # remote-access faults
+    assert vm.touch_pages(pages, node=1) == 0   # already mapped there
+    # home never moves
+    assert all(vm.machine.memory.home(p) == 0 for p in pages)
+
+
+def test_nodes_mapping_tracks_mappers(vm):
+    (page,) = vm.machine.memory.allocate(1)
+    vm.touch_pages([page], node=0)
+    vm.touch_pages([page], node=1)
+    assert vm.nodes_mapping(page) == [0, 1]
+
+
+def test_thread_residency_histogram_counts_batches(vm):
+    pages = list(vm.machine.memory.allocate(4))
+    thread = _thread()
+    vm.touch_pages(pages, node=0, thread=thread)
+    assert thread.pages_by_node[0] == 4
+    # a second batch over the same pages counts again (access volume)
+    vm.touch_pages(pages, node=0, thread=thread)
+    assert thread.pages_by_node[0] == 8
+
+
+def test_thread_histogram_attributes_to_home_node(vm):
+    pages = list(vm.machine.memory.allocate(2))
+    vm.touch_pages(pages, node=1)           # homes on node 1
+    thread = _thread()
+    vm.touch_pages(pages, node=0, thread=thread)  # accessed from node 0
+    assert thread.pages_by_node == {1: 2}
+
+
+def test_forget_releases_pages_and_mappings(vm):
+    pages = list(vm.machine.memory.allocate(2))
+    vm.touch_pages(pages, node=0)
+    vm.forget(pages)
+    assert vm.machine.memory.pages_on_node(0) == 0
+    assert vm.nodes_mapping(pages[0]) == []
+    # re-touch first-touches again
+    assert vm.touch_pages(pages, node=1) == 2
+
+
+def test_total_minor_faults(vm):
+    pages = list(vm.machine.memory.allocate(3))
+    vm.touch_pages(pages, node=0)
+    vm.touch_pages(pages, node=1)
+    assert vm.total_minor_faults() == 6

@@ -1,0 +1,91 @@
+"""Property-based tests: expression evaluation vs a numpy oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.expressions import (And, Between, Case, Col, Const, Floor,
+                                  InList, Not, Or, eq, ge, gt, le, lt)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+arrays = st.lists(finite, min_size=1, max_size=40).map(
+    lambda vs: np.array(vs, dtype=np.float64))
+
+
+@given(arrays, arrays.map(lambda a: a[:1][0]))
+@settings(max_examples=60)
+def test_comparisons_match_numpy(values, threshold):
+    env = {"x": values}
+    np.testing.assert_array_equal(lt(Col("x"), threshold).evaluate(env),
+                                  values < threshold)
+    np.testing.assert_array_equal(ge(Col("x"), threshold).evaluate(env),
+                                  values >= threshold)
+    np.testing.assert_array_equal(eq(Col("x"), threshold).evaluate(env),
+                                  values == threshold)
+
+
+@given(arrays)
+@settings(max_examples=60)
+def test_demorgan(values):
+    env = {"x": values}
+    a = gt(Col("x"), 0)
+    b = le(Col("x"), 100)
+    lhs = Not(And(a, b)).evaluate(env)
+    rhs = Or(Not(a), Not(b)).evaluate(env)
+    np.testing.assert_array_equal(lhs, rhs)
+
+
+@given(arrays, finite, finite)
+@settings(max_examples=60)
+def test_between_equals_two_comparisons(values, a, b):
+    low, high = min(a, b), max(a, b)
+    env = {"x": values}
+    expected = (values >= low) & (values <= high)
+    np.testing.assert_array_equal(
+        Between(Col("x"), low, high).evaluate(env), expected)
+
+
+@given(arrays)
+@settings(max_examples=60)
+def test_case_partitions(values):
+    """CASE selects exactly one branch per row."""
+    env = {"x": values}
+    cond = gt(Col("x"), 0)
+    result = Case(cond, Const(1.0), Const(-1.0)).evaluate(env)
+    np.testing.assert_array_equal(result > 0, values > 0)
+
+
+@given(arrays)
+@settings(max_examples=60)
+def test_arithmetic_identities(values):
+    env = {"x": values}
+    np.testing.assert_allclose(
+        (Col("x") + Const(0.0)).evaluate(env), values)
+    np.testing.assert_allclose(
+        (Col("x") * Const(1.0)).evaluate(env), values)
+    np.testing.assert_allclose(
+        (Col("x") - Col("x")).evaluate(env), np.zeros_like(values))
+
+
+@given(arrays)
+@settings(max_examples=60)
+def test_floor_bounds(values):
+    env = {"x": values}
+    result = Floor(Col("x")).evaluate(env)
+    assert (result <= values).all()
+    # strict in exact arithmetic; == 1.0 can appear through float
+    # rounding for tiny negative values
+    assert (values - result <= 1.0).all()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                max_size=30),
+       st.sets(st.integers(min_value=0, max_value=9), min_size=1))
+@settings(max_examples=60)
+def test_inlist_matches_membership(values, members):
+    arr = np.array(values, dtype=np.int64)
+    env = {"x": arr}
+    result = InList(Col("x"), sorted(members)).evaluate(env)
+    expected = np.array([v in members for v in values])
+    np.testing.assert_array_equal(result, expected)

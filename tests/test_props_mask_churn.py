@@ -1,0 +1,76 @@
+"""Fuzz: random cpuset churn mid-run never loses work or deadlocks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.prebuilt import ring_topology, small_numa
+from repro.hardware.machine import Machine
+from repro.opsys.system import OperatingSystem
+from repro.opsys.thread import ThreadState
+from repro.opsys.workitem import ListWorkSource, WorkItem
+
+mask_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=0.2, allow_nan=False),
+        st.sets(st.integers(min_value=0, max_value=3), min_size=1)),
+    min_size=1, max_size=8)
+
+
+@given(mask_events, st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_work_survives_arbitrary_mask_churn(events, n_threads):
+    os_ = OperatingSystem(small_numa())
+    threads = []
+    for _ in range(n_threads):
+        pages = list(os_.machine.memory.allocate(24))
+        threads.append(os_.spawn_thread(ListWorkSource(
+            [WorkItem("w", reads=pages, cycles=2e7)])))
+    for at, mask in events:
+        os_.sim.schedule(at, lambda m=mask: os_.cpuset.set_mask(m))
+    os_.run_until_idle()
+    assert all(t.state is ThreadState.DONE for t in threads)
+    assert os_.scheduler.live_threads() == 0
+
+
+@given(mask_events)
+@settings(max_examples=20, deadline=None)
+def test_mask_churn_with_pinned_and_unmanaged(events):
+    os_ = OperatingSystem(small_numa())
+    pages = list(os_.machine.memory.allocate(16))
+    kinds = [
+        dict(pinned_core=0),
+        dict(pinned_node=1),
+        dict(managed=False),
+        dict(),
+    ]
+    threads = [os_.spawn_thread(
+        ListWorkSource([WorkItem("w", reads=pages, cycles=1e7)]),
+        **kind) for kind in kinds]
+    for at, mask in events:
+        os_.sim.schedule(at, lambda m=mask: os_.cpuset.set_mask(m))
+    os_.run_until_idle()
+    assert all(t.state is ThreadState.DONE for t in threads)
+
+
+def test_ring_topology_distances():
+    config = small_numa(n_sockets=6, cores_per_socket=1)
+    topo = ring_topology(config)
+    assert topo.distance(0, 1) == 1
+    assert topo.distance(0, 3) == 3
+    assert topo.distance(0, 5) == 1  # shorter arc
+    assert topo.distance(2, 2) == 0
+
+
+def test_ring_topology_multi_hop_costs_more():
+    config = small_numa(n_sockets=6, cores_per_socket=1)
+    machine = Machine(topology=ring_topology(config))
+    near = list(machine.memory.allocate(8))
+    far = list(machine.memory.allocate(8))
+    for page in near:
+        machine.memory.place(page, 1)   # one hop from node 0
+    for page in far:
+        machine.memory.place(page, 3)   # three hops from node 0
+    near_cost = machine.touch(0.0, 0, near).stall_time
+    machine.flush_caches()
+    far_cost = machine.touch(10.0, 0, far).stall_time
+    assert far_cost > near_cost

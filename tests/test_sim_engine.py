@@ -1,0 +1,123 @@
+"""Discrete-event engine: ordering, cancellation, run bounds."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_events_delivered_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(0.3, log.append, "c")
+    sim.schedule(0.1, log.append, "a")
+    sim.schedule(0.2, log.append, "b")
+    sim.run_until_idle()
+    assert log == ["a", "b", "c"]
+
+
+def test_ties_broken_by_scheduling_order():
+    sim = Simulator()
+    log = []
+    for tag in "abc":
+        sim.schedule(0.5, log.append, tag)
+    sim.run_until_idle()
+    assert log == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run_until_idle()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_cancelled_events_are_dropped():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(0.1, log.append, "cancelled")
+    sim.schedule(0.2, log.append, "kept")
+    sim.cancel(event)
+    sim.run_until_idle()
+    assert log == ["kept"]
+
+
+def test_run_until_bound_stops_before_later_events():
+    sim = Simulator()
+    log = []
+    sim.schedule(0.1, log.append, "early")
+    sim.schedule(1.0, log.append, "late")
+    delivered = sim.run(until=0.5)
+    assert delivered == 1
+    assert log == ["early"]
+    assert sim.now == 0.5
+    sim.run_until_idle()
+    assert log == ["early", "late"]
+
+
+def test_event_at_exact_until_is_delivered():
+    sim = Simulator()
+    log = []
+    sim.schedule(0.5, log.append, "edge")
+    sim.run(until=0.5)
+    assert log == ["edge"]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule(0.1, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run_until_idle()
+    assert log == [0, 1, 2, 3]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    assert sim.pending() == 2
+    sim.cancel(e1)
+    assert sim.pending() == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    sim.cancel(e1)
+    assert sim.peek_time() == pytest.approx(0.2)
+
+
+def test_max_events_bounds_delivery():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(0.1, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.pending() == 6
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False

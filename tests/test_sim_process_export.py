@@ -1,0 +1,150 @@
+"""Simulated processes and trace export."""
+
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.export import dump_records, dump_tracer, load_records
+from repro.sim.process import every, spawn_process
+from repro.sim.tracing import (MigrationRecord, PlacementRecord,
+                               QueryRecord, TraceRecorder)
+
+
+class TestProcess:
+    def test_generator_runs_with_yielded_sleeps(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield 0.5
+            log.append(sim.now)
+            yield 0.25
+            log.append(sim.now)
+
+        handle = spawn_process(sim, body())
+        sim.run_until_idle()
+        assert log == [0.0, 0.5, 0.75]
+        assert handle.finished
+        assert not handle.alive
+
+    def test_start_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def body():
+            seen.append(sim.now)
+            yield 0.0
+
+        spawn_process(sim, body(), start_delay=1.0)
+        sim.run_until_idle()
+        assert seen == [1.0]
+
+    def test_cancel_stops_future_steps(self):
+        sim = Simulator()
+        ticks = []
+
+        def body():
+            while True:
+                ticks.append(sim.now)
+                yield 0.1
+
+        handle = spawn_process(sim, body())
+        sim.schedule(0.35, handle.cancel)
+        sim.run_until_idle()
+        assert len(ticks) == 4  # t=0, 0.1, 0.2, 0.3
+        assert handle.cancelled
+        assert not handle.alive
+
+    def test_invalid_yield_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield -1.0
+
+        spawn_process(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run_until_idle()
+
+    def test_every_helper_with_condition(self):
+        sim = Simulator()
+        counter = []
+
+        def tick():
+            counter.append(sim.now)
+
+        spawn_process(sim, every(0.2, tick,
+                                 while_condition=lambda:
+                                 len(counter) < 3))
+        sim.run_until_idle()
+        assert len(counter) == 3
+
+    def test_every_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            every(0, lambda: None)
+
+
+class TestExport:
+    def _records(self):
+        return [
+            PlacementRecord(time=0.1, thread_id=1, core_id=2, node_id=0),
+            MigrationRecord(time=0.2, thread_id=1, src_core=2,
+                            dst_core=5, stolen=True),
+            QueryRecord(time=0.3, client_id=0, query_name="q6",
+                        start_time=0.0, elapsed=0.3),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        originals = self._records()
+        assert dump_records(originals, path) == 3
+        loaded = load_records(path)
+        assert loaded == originals
+
+    def test_dump_tracer(self, tmp_path):
+        tracer = TraceRecorder()
+        for record in self._records():
+            tracer.emit(record)
+        path = tmp_path / "trace.jsonl"
+        assert dump_tracer(tracer, path) == 3
+        assert load_records(path) == self._records()
+
+    def test_unknown_type_rejected_on_dump(self, tmp_path):
+        with pytest.raises(ReproError):
+            dump_records([object()], tmp_path / "x.jsonl")
+
+    def test_bad_json_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ReproError):
+            load_records(path)
+
+    def test_unknown_type_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "Mystery", "time": 1.0}\n')
+        with pytest.raises(ReproError):
+            load_records(path)
+
+    def test_bad_fields_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "QueryRecord", "time": 1.0}\n')
+        with pytest.raises(ReproError):
+            load_records(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_records(self._records(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_records(path)) == 3
+
+    def test_end_to_end_simulation_trace(self, tmp_path):
+        """Export a real run's trace and reload it."""
+        from repro.experiments.common import build_system
+        from repro.db.clients import repeat_stream
+
+        sut = build_system(scale=0.004, sim_scale=0.125)
+        sut.run_clients(1, repeat_stream("q6", 1))
+        path = tmp_path / "run.jsonl"
+        count = dump_tracer(sut.os.tracer, path)
+        assert count == len(sut.os.tracer)
+        assert load_records(path) == sut.os.tracer.all()

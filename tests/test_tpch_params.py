@@ -1,0 +1,75 @@
+"""Parameterised TPC-H variants."""
+
+import pytest
+
+from repro.db.operators import relation_rows
+from repro.db.plan import profile_query
+from repro.workloads.tpch.params import (build_variants, q3_variant,
+                                         q5_variant, q6_variant,
+                                         q12_variant, q14_variant)
+from repro.workloads.tpch.schema import date_index
+
+
+@pytest.fixture(scope="module")
+def catalog(tiny_dataset):
+    return tiny_dataset.catalog()
+
+
+def test_build_variants_inventory():
+    variants = build_variants()
+    assert len(variants) == 21
+    assert "q6_y1994" in variants
+    assert "q3_building" in variants
+    assert "q5_asia" in variants
+    assert "q12_mail_ship" in variants
+    assert "q14_1995_09" in variants
+
+
+@pytest.mark.parametrize("name,plan_builder", [
+    ("q6", lambda: q6_variant(1994)),
+    ("q3", lambda: q3_variant("MACHINERY")),
+    ("q5", lambda: q5_variant("EUROPE")),
+    ("q12", lambda: q12_variant("AIR", "TRUCK")),
+    ("q14", lambda: q14_variant(1994, 3)),
+])
+def test_variants_evaluate_and_profile(name, plan_builder, catalog,
+                                       tiny_dataset):
+    plan = plan_builder()
+    rel = plan.evaluate(catalog)
+    profile = profile_query(plan, catalog, name,
+                            tiny_dataset.byte_scale)
+    assert profile.result_rows == relation_rows(rel)
+
+
+def test_q6_year_oracle(catalog):
+    li = catalog.table("lineitem").env()
+    for year in (1993, 1996):
+        plan = q6_variant(year)
+        mask = ((li["l_shipdate"] >= date_index(f"{year}-01-01"))
+                & (li["l_shipdate"] < date_index(f"{year + 1}-01-01"))
+                & (li["l_discount"] >= 0.06 - 0.011)
+                & (li["l_discount"] <= 0.06 + 0.011)
+                & (li["l_quantity"] < 24))
+        expected = (li["l_extendedprice"][mask]
+                    * li["l_discount"][mask]).sum()
+        assert plan.evaluate(catalog)["revenue"][0] \
+            == pytest.approx(expected)
+
+
+def test_segments_select_disjoint_customers(catalog):
+    building = q3_variant("BUILDING").evaluate(catalog)
+    machinery = q3_variant("MACHINERY").evaluate(catalog)
+    # different parameters genuinely change the result
+    if relation_rows(building) and relation_rows(machinery):
+        assert set(building["l_orderkey"].tolist()) \
+            != set(machinery["l_orderkey"].tolist())
+
+
+def test_variants_run_on_an_engine(tiny_dataset):
+    from repro.db.clients import repeat_stream
+    from repro.experiments.common import build_system
+
+    sut = build_system(scale=0.004, sim_scale=0.125, register="none")
+    sut.engine.register_queries(build_variants())
+    result = sut.run_clients(2, repeat_stream("q5_asia", 1))
+    assert result.queries_completed == 2

@@ -1,0 +1,170 @@
+"""The 22 TPC-H query plans: execution, oracle checks, profiling."""
+
+import numpy as np
+import pytest
+
+from repro.db.operators import relation_rows
+from repro.db.plan import profile_query
+from repro.workloads.tpch import QUERY_NAMES, build_queries
+from repro.workloads.tpch.schema import date_index, segment_code
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_dataset):
+    return tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def catalog(dataset):
+    return dataset.catalog()
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return build_queries(scale=dataset.scale)
+
+
+@pytest.fixture(scope="module")
+def results(queries, catalog):
+    return {name: plan.evaluate(catalog)
+            for name, plan in queries.items()}
+
+
+def test_all_22_queries_present(queries):
+    assert sorted(queries) == sorted(QUERY_NAMES)
+    assert len(queries) == 22
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_query_evaluates_and_profiles(name, queries, catalog, dataset):
+    profile = profile_query(queries[name], catalog, name,
+                            dataset.byte_scale)
+    assert profile.stages[-1].label == "sql.resultSet"
+    assert profile.total_cycles > 0
+    assert all(s.cycles >= 0 for s in profile.stages)
+    # stage wiring is acyclic and in-range
+    for idx, stage in enumerate(profile.stages):
+        for producer in (*stage.consumes, *stage.shared_consumes):
+            assert 0 <= producer < idx
+
+
+def test_q1_oracle(results, catalog):
+    """Q1 against a direct numpy computation."""
+    rel = results["q1"]
+    li = catalog.table("lineitem").env()
+    mask = li["l_shipdate"] <= date_index("1998-09-02")
+    assert rel["count_order"].sum() == mask.sum()
+    expected_sum_qty = li["l_quantity"][mask].sum()
+    assert rel["sum_qty"].sum() == pytest.approx(expected_sum_qty)
+    # 3 return flags x 2 statuses, minus combinations that cannot occur
+    assert 1 <= relation_rows(rel) <= 6
+
+
+def test_q1_group_consistency(results):
+    rel = results["q1"]
+    np.testing.assert_allclose(
+        rel["avg_qty"], rel["sum_qty"] / rel["count_order"])
+
+
+def test_q3_oracle(results, catalog):
+    """Q3's revenue for the top row matches a direct computation."""
+    rel = results["q3"]
+    if relation_rows(rel) == 0:
+        pytest.skip("tiny dataset produced no Q3 rows")
+    cutoff = date_index("1995-03-15")
+    li = catalog.table("lineitem").env()
+    orders = catalog.table("orders").env()
+    cust = catalog.table("customer").env()
+    building = set(cust["c_custkey"][
+        cust["c_mktsegment"] == segment_code("BUILDING")].tolist())
+    order_ok = {
+        int(ok) for ok, cd, ck in zip(
+            orders["o_orderkey"], orders["o_orderdate"],
+            orders["o_custkey"])
+        if cd < cutoff and int(ck) in building}
+    top_order = int(rel["l_orderkey"][0])
+    mask = (li["l_orderkey"] == top_order) & (li["l_shipdate"] > cutoff)
+    expected = (li["l_extendedprice"][mask]
+                * (1 - li["l_discount"][mask])).sum()
+    assert top_order in order_ok
+    assert rel["revenue"][0] == pytest.approx(expected)
+    # descending revenue
+    assert (np.diff(rel["revenue"]) <= 1e-9).all()
+
+
+def test_q4_counts_match_oracle(results, catalog):
+    rel = results["q4"]
+    li = catalog.table("lineitem").env()
+    orders = catalog.table("orders").env()
+    late_orders = set(li["l_orderkey"][
+        li["l_commitdate"] < li["l_receiptdate"]].tolist())
+    window = ((orders["o_orderdate"] >= date_index("1993-07-01"))
+              & (orders["o_orderdate"] < date_index("1993-10-01")))
+    expected = sum(1 for ok, in_window in
+                   zip(orders["o_orderkey"], window)
+                   if in_window and int(ok) in late_orders)
+    assert rel["order_count"].sum() == expected
+
+
+def test_q6_oracle(results, catalog):
+    li = catalog.table("lineitem").env()
+    mask = ((li["l_shipdate"] >= date_index("1997-01-01"))
+            & (li["l_shipdate"] < date_index("1998-01-01"))
+            & (li["l_discount"] >= 0.07 - 0.011)
+            & (li["l_discount"] <= 0.07 + 0.011)
+            & (li["l_quantity"] < 24))
+    expected = (li["l_extendedprice"][mask]
+                * li["l_discount"][mask]).sum()
+    assert results["q6"]["revenue"][0] == pytest.approx(expected)
+
+
+def test_q13_includes_zero_order_customers(results, catalog):
+    rel = results["q13"]
+    n_customers = catalog.table("customer").n_rows
+    assert rel["custdist"].sum() == n_customers
+    assert 0 in rel["c_count"].tolist()  # a third never order
+
+
+def test_q14_is_a_percentage(results):
+    value = results["q14"]["promo_revenue"][0]
+    assert 0.0 <= value <= 100.0
+    # PROMO is one of six first syllables: expect ~16 %
+    assert 5.0 < value < 30.0
+
+
+def test_q15_picks_the_max_revenue_supplier(results):
+    rel = results["q15"]
+    assert relation_rows(rel) >= 1
+    assert (rel["total_revenue"] == rel["total_revenue"].max()).all()
+
+
+def test_q18_respects_threshold(results):
+    rel = results["q18"]
+    if relation_rows(rel):
+        assert (rel["sum_qty"] > 300).all()
+
+
+def test_q21_at_most_100_rows_sorted(results):
+    rel = results["q21"]
+    assert relation_rows(rel) <= 100
+    if relation_rows(rel) > 1:
+        assert (np.diff(rel["numwait"]) <= 0).all()
+
+
+def test_q22_customers_have_no_orders(results, catalog):
+    rel = results["q22"]
+    assert relation_rows(rel) >= 1
+    assert (rel["numcust"] > 0).all()
+
+
+def test_q2_min_cost_selection(results):
+    rel = results["q2"]
+    # ordered by account balance descending (first key)
+    if relation_rows(rel) > 1:
+        assert (np.diff(rel["s_acctbal"]) <= 1e-9).all()
+
+
+def test_q11_value_threshold(results):
+    rel = results["q11"]
+    if relation_rows(rel) > 1:
+        assert (np.diff(rel["value"]) <= 1e-6).all()

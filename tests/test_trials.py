@@ -1,0 +1,63 @@
+"""The multi-seed trial harness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.trials import TrialStats, run_trials
+
+
+def test_stats_aggregation():
+    stats = TrialStats(seeds=(1, 2, 3))
+    stats.add({"x": 1.0, "y": 10.0})
+    stats.add({"x": 2.0, "y": 10.0})
+    stats.add({"x": 3.0, "y": 10.0})
+    assert stats.mean("x") == pytest.approx(2.0)
+    assert stats.std("x") == pytest.approx(1.0)
+    assert stats.std("y") == 0.0
+    assert stats.minmax("x") == (1.0, 3.0)
+
+
+def test_single_sample_std_is_zero():
+    stats = TrialStats(seeds=(1,))
+    stats.add({"x": 5.0})
+    assert stats.std("x") == 0.0
+
+
+def test_missing_metric_rejected():
+    stats = TrialStats(seeds=(1,))
+    with pytest.raises(ReproError):
+        stats.mean("nope")
+
+
+def test_run_trials_drives_runner_per_seed():
+    seen = []
+
+    def runner(seed):
+        seen.append(seed)
+        return seed
+
+    stats = run_trials(runner, extract=lambda r: {"value": r * 2.0},
+                       seeds=(3, 5, 7))
+    assert seen == [3, 5, 7]
+    assert stats.mean("value") == pytest.approx(10.0)
+    assert "Trials over seeds" in stats.table()
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ReproError):
+        run_trials(lambda s: s, extract=lambda r: {}, seeds=())
+
+
+def test_trials_over_a_real_experiment():
+    """Three seeds of a small mixed run: speedup mean is finite and the
+    spread is bounded."""
+    from repro.experiments import fig19_mixed_phases
+
+    stats = run_trials(
+        lambda seed: fig19_mixed_phases.run(
+            n_clients=4, queries_per_client=2, scale=0.004,
+            sim_scale=0.125, seed=seed, modes=(None, "adaptive")),
+        extract=lambda r: {"speedup": r.mean_speedup()},
+        seeds=(1, 2, 3))
+    assert len(stats.samples["speedup"]) == 3
+    assert 0.1 < stats.mean("speedup") < 10.0

@@ -1,0 +1,92 @@
+"""The system validator: clean runs pass, corrupted states fail."""
+
+import pytest
+
+from repro.db.clients import repeat_stream
+from repro.experiments.common import build_system
+from repro.opsys.thread import SimThread, ThreadState
+from repro.opsys.workitem import ListWorkSource, WorkItem
+from repro.validate import InvariantViolation, SystemValidator
+
+SCALE = 0.004
+SIM = 0.125
+
+
+def test_clean_system_passes():
+    sut = build_system(scale=SCALE, sim_scale=SIM)
+    validator = SystemValidator(sut.os)
+    validator.check()
+    assert validator.checks_run == 1
+
+
+def test_validator_attached_during_workload():
+    sut = build_system(mode="adaptive", scale=SCALE, sim_scale=SIM)
+    validator = SystemValidator(sut.os, sut.controller)
+    handle = validator.attach(interval=0.02)
+    sut.run_clients(4, repeat_stream("q6", 2))
+    assert validator.checks_run > 5
+    assert not handle.alive
+
+
+def test_validator_runs_across_engines():
+    for engine in ("monetdb", "sqlserver", "morsel"):
+        sut = build_system(engine=engine, mode="dense", scale=SCALE,
+                           sim_scale=SIM)
+        validator = SystemValidator(sut.os, sut.controller)
+        validator.attach(interval=0.05)
+        sut.run_clients(2, repeat_stream("q1", 1))
+        assert validator.checks_run > 0
+
+
+def test_detects_duplicated_thread():
+    sut = build_system(scale=SCALE, sim_scale=SIM)
+    thread = SimThread(ListWorkSource([WorkItem("x", cycles=1e9)]))
+    thread.state = ThreadState.READY
+    sut.os.scheduler.threads.add(thread)
+    sut.os.scheduler._queues[0].append(thread)
+    sut.os.scheduler._queues[1].append(thread)
+    with pytest.raises(InvariantViolation, match="appears 2 times"):
+        SystemValidator(sut.os).check()
+
+
+def test_detects_orphaned_runnable_thread():
+    sut = build_system(scale=SCALE, sim_scale=SIM)
+    thread = SimThread(ListWorkSource([WorkItem("x", cycles=1e9)]))
+    thread.state = ThreadState.READY
+    sut.os.scheduler.threads.add(thread)
+    with pytest.raises(InvariantViolation, match="absent from every"):
+        SystemValidator(sut.os).check()
+
+
+def test_detects_queued_thread_on_released_core():
+    sut = build_system(scale=SCALE, sim_scale=SIM)
+    sut.os.cpuset.set_mask([0, 1])
+    thread = SimThread(ListWorkSource([WorkItem("x", cycles=1e9)]))
+    thread.state = ThreadState.READY
+    sut.os.scheduler.threads.add(thread)
+    sut.os.scheduler._queues[5].append(thread)
+    with pytest.raises(InvariantViolation, match="released core"):
+        SystemValidator(sut.os).check()
+
+
+def test_detects_time_accounting_corruption():
+    sut = build_system(scale=SCALE, sim_scale=SIM)
+    sut.os.counters.add("useful_time", 0, 5.0)  # busy stays 0
+    with pytest.raises(InvariantViolation, match="exceeds busy"):
+        SystemValidator(sut.os).check()
+
+
+def test_detects_controller_desync():
+    sut = build_system(mode="dense", scale=SCALE, sim_scale=SIM)
+    sut.controller.model.sync_nalloc(7)  # cpuset still holds 1 core
+    with pytest.raises(InvariantViolation, match="nalloc"):
+        SystemValidator(sut.os, sut.controller).check()
+
+
+def test_detects_bad_queue_state():
+    sut = build_system(scale=SCALE, sim_scale=SIM)
+    thread = SimThread(ListWorkSource([WorkItem("x", cycles=1e9)]))
+    thread.state = ThreadState.BLOCKED
+    sut.os.scheduler._queues[0].append(thread)
+    with pytest.raises(InvariantViolation, match="state blocked"):
+        SystemValidator(sut.os).check()

@@ -1,0 +1,139 @@
+"""Workload drivers: microbench, phases, selectivity sweep."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.errors import WorkloadError
+from repro.opsys.system import OperatingSystem
+from repro.workloads.microbench import (AFFINITIES, Q6Microbench,
+                                        run_q6_kernel)
+from repro.workloads.phases import (mixed_phases_stream,
+                                    stable_phases_schedule)
+from repro.workloads.selectivity import (SELECTIVITY_LEVELS,
+                                         selectivity_name,
+                                         selectivity_query)
+from repro.workloads.tpch.queries import QUERY_NAMES
+
+
+@pytest.fixture
+def loaded(tiny_dataset):
+    os_ = OperatingSystem()
+    catalog: Catalog = tiny_dataset.catalog()
+    catalog.load(os_.vm, policy="single_node", loader_node=0)
+    os_.counters.reset()
+    return os_, catalog
+
+
+class TestMicrobench:
+    def test_kernel_completes_all_clients(self, loaded):
+        os_, catalog = loaded
+        result = run_q6_kernel(os_, catalog.table("lineitem"),
+                               n_clients=3, repetitions=2)
+        assert result.queries_completed == 6
+        assert result.throughput > 0
+
+    @pytest.mark.parametrize("affinity", AFFINITIES)
+    def test_affinities_run(self, loaded, affinity):
+        os_, catalog = loaded
+        result = run_q6_kernel(os_, catalog.table("lineitem"),
+                               n_clients=2, affinity=affinity)
+        assert result.queries_completed == 2
+
+    def test_dense_pins_one_node(self, loaded):
+        os_, catalog = loaded
+        bench = Q6Microbench(os_, catalog.table("lineitem"), 1,
+                             affinity="dense")
+        pins = [bench.pin_for(i) for i in range(8)]
+        nodes = {os_.topology.node_of_core(p) for p in pins}
+        assert nodes == {0}
+
+    def test_sparse_spreads_nodes(self, loaded):
+        os_, catalog = loaded
+        bench = Q6Microbench(os_, catalog.table("lineitem"), 1,
+                             affinity="sparse")
+        pins = [bench.pin_for(i) for i in range(4)]
+        nodes = {os_.topology.node_of_core(p) for p in pins}
+        assert len(nodes) == 4
+
+    def test_os_affinity_leaves_unpinned(self, loaded):
+        os_, catalog = loaded
+        bench = Q6Microbench(os_, catalog.table("lineitem"), 1,
+                             affinity="os")
+        assert bench.pin_for(0) is None
+
+    def test_dense_generates_less_traffic_than_sparse(self, tiny_dataset):
+        traffic = {}
+        for affinity in ("dense", "sparse"):
+            os_ = OperatingSystem()
+            catalog = tiny_dataset.catalog()
+            catalog.load(os_.vm, policy="single_node", loader_node=0)
+            os_.counters.reset()
+            run_q6_kernel(os_, catalog.table("lineitem"), n_clients=2,
+                          affinity=affinity)
+            traffic[affinity] = os_.counters.total("ht_tx_bytes")
+        assert traffic["dense"] < traffic["sparse"]
+
+    def test_bad_parameters_rejected(self, loaded):
+        os_, catalog = loaded
+        with pytest.raises(WorkloadError):
+            Q6Microbench(os_, catalog.table("lineitem"), 0)
+        with pytest.raises(WorkloadError):
+            Q6Microbench(os_, catalog.table("lineitem"), 1,
+                         affinity="diagonal")
+        with pytest.raises(WorkloadError):
+            Q6Microbench(os_, catalog.table("orders"), 1)
+
+
+class TestPhases:
+    def test_stable_schedule_defaults_to_22(self):
+        assert stable_phases_schedule() == QUERY_NAMES
+
+    def test_stable_schedule_custom(self):
+        assert stable_phases_schedule(["q6", "q1"]) == ["q6", "q1"]
+        with pytest.raises(WorkloadError):
+            stable_phases_schedule([])
+
+    def test_mixed_stream_deterministic_per_client(self):
+        factory = mixed_phases_stream(10, seed=3)
+        assert factory(0) == factory(0)
+        assert factory(0) != factory(1)
+
+    def test_mixed_stream_draws_from_pool(self):
+        factory = mixed_phases_stream(50, seed=3, queries=["q1", "q2"])
+        assert set(factory(0)) <= {"q1", "q2"}
+        assert len(factory(0)) == 50
+
+    def test_mixed_stream_validation(self):
+        with pytest.raises(WorkloadError):
+            mixed_phases_stream(0)
+        with pytest.raises(WorkloadError):
+            mixed_phases_stream(5, queries=[])
+
+
+class TestSelectivity:
+    def test_levels_match_paper(self):
+        assert SELECTIVITY_LEVELS == (0.02, 0.04, 0.08, 0.16, 0.32,
+                                      0.64, 1.00)
+
+    def test_names(self):
+        assert selectivity_name(0.02) == "sel_2pct"
+        assert selectivity_name(1.0) == "sel_100pct"
+
+    def test_query_selects_expected_fraction(self, tiny_dataset):
+        catalog = tiny_dataset.catalog()
+        li = catalog.table("lineitem").env()
+        for level in (0.08, 0.32, 1.0):
+            plan = selectivity_query(level)
+            # the underlying filter keeps ~level of the rows
+            mask = li["l_quantity"] <= 50.0 * level
+            observed = mask.mean()
+            assert observed == pytest.approx(level, abs=0.05)
+            result = plan.evaluate(catalog)
+            assert result["total"][0] == pytest.approx(
+                li["l_extendedprice"][mask].sum())
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            selectivity_query(0.0)
+        with pytest.raises(WorkloadError):
+            selectivity_query(1.5)
