@@ -37,8 +37,10 @@ from .core import (AdaptivePriorityMode, CpuLoadStrategy, DenseMode,
 from .db import (BAT, Catalog, ClientPool, DatabaseEngine, MonetDBLike,
                  NumaAwareEngine, Table, WorkloadResult)
 from .db.clients import repeat_stream
-from .errors import ReproError
+from .errors import ReproError, VerificationError
 from .experiments import SystemUnderTest, build_system
+from .verify import (VerificationReport, verify_performance_model,
+                     verify_source_tree)
 from .hardware import EnergyModel, Machine, Topology, opteron_8387
 from .opsys import CpuSet, OperatingSystem, Scheduler
 from .sim import Simulator, TraceRecorder
@@ -65,6 +67,9 @@ __all__ = [
     "CpuLoadStrategy", "HtImcStrategy", "make_mode", "make_strategy",
     # experiment harness
     "build_system", "SystemUnderTest",
+    # static verification
+    "VerificationReport", "verify_performance_model",
+    "verify_source_tree",
     # errors
-    "ReproError",
+    "ReproError", "VerificationError",
 ]

@@ -6,16 +6,21 @@ Usage::
     python -m repro run fig13 --users 4,16 --repetitions 2
     python -m repro run fig19 --engine sqlserver --n-clients 16
     python -m repro compare --workload q6 --clients 16
+    python -m repro verify --json
 
 ``run`` executes one figure/extension harness and prints its table;
-``compare`` is a quick four-way mode comparison on one query.
+``compare`` is a quick four-way mode comparison on one query; ``verify``
+runs the static model checks and the determinism lint (exit 0 clean,
+1 on findings) — the CI gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import sys
 from collections.abc import Callable
+from pathlib import Path
 
 from .analysis.report import render_table
 from .db.clients import repeat_stream
@@ -101,6 +106,36 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--repetitions", type=int, default=3)
     compare.add_argument("--engine", default="monetdb",
                          choices=("monetdb", "sqlserver", "morsel"))
+
+    verify = sub.add_parser(
+        "verify",
+        help="static model checks + determinism lint (the CI gate)")
+    verify.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    verify.add_argument("--strategy", default="all",
+                        choices=("all", "cpu_load", "ht_imc",
+                                 "useful_load"),
+                        help="which strategy's thresholds to verify")
+    verify.add_argument("--th-min", type=float, default=None)
+    verify.add_argument("--th-max", type=float, default=None)
+    verify.add_argument("--n-total", type=int, default=16,
+                        help="machine core count (default 16)")
+    verify.add_argument("--min-cores", type=int, default=1)
+    verify.add_argument("--initial-cores", type=int, default=1)
+    verify.add_argument("--grid", type=int, default=101,
+                        help="uniform metric probes on top of the "
+                             "breakpoints (default 101)")
+    verify.add_argument("--fixture", default=None,
+                        help="PATH[:FUNC] of a python file whose FUNC "
+                             "(default 'build') returns the model to "
+                             "verify instead of the shipped one")
+    verify.add_argument("--src", default=None,
+                        help="source tree to lint (default: the "
+                             "installed repro package)")
+    verify.add_argument("--no-lint", action="store_true",
+                        help="skip the determinism lint")
+    verify.add_argument("--no-model", action="store_true",
+                        help="skip the model checks")
     return parser
 
 
@@ -140,6 +175,96 @@ def _run_compare(args: argparse.Namespace) -> str:
                f"{args.engine}"))
 
 
+#: strategy name -> (default th_min, default th_max, metric domain)
+_VERIFY_STRATEGIES = {
+    "cpu_load": (10.0, 70.0, (0.0, 100.0)),
+    "useful_load": (10.0, 70.0, (0.0, 100.0)),
+    "ht_imc": (0.1, 0.4, (0.0, 1.0)),
+}
+
+
+def _load_fixture(spec: str):
+    """Load ``PATH[:FUNC]`` and call FUNC (default ``build``)."""
+    path, func_name = Path(spec), "build"
+    if not path.exists() and ":" in spec:
+        path_text, _, func_name = spec.rpartition(":")
+        path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"fixture file {spec!r} not found")
+    module_spec = importlib.util.spec_from_file_location(
+        "repro_verify_fixture", path)
+    if module_spec is None or module_spec.loader is None:
+        raise ReproError(f"cannot load fixture {path}")
+    module = importlib.util.module_from_spec(module_spec)
+    module_spec.loader.exec_module(module)
+    builder = getattr(module, func_name or "build", None)
+    if builder is None:
+        raise ReproError(
+            f"fixture {path} defines no {func_name or 'build'}()")
+    return builder()
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    from .config import preflight_defects
+    from .core.model import PerformanceModel
+    from .verify import (Finding, VerificationReport,
+                         verify_performance_model, verify_source_tree)
+
+    reports = []
+    if not args.no_model:
+        if args.fixture is not None:
+            model = _load_fixture(args.fixture)
+            reports.append(verify_performance_model(
+                model, grid=args.grid,
+                subject=f"fixture {args.fixture}"))
+        else:
+            names = (list(_VERIFY_STRATEGIES) if args.strategy == "all"
+                     else [args.strategy])
+            for name in names:
+                th_min, th_max, domain = _VERIFY_STRATEGIES[name]
+                if args.th_min is not None:
+                    th_min, domain = args.th_min, None
+                if args.th_max is not None:
+                    th_max, domain = args.th_max, None
+                subject = (f"{name}(th_min={th_min}, th_max={th_max}, "
+                           f"n_total={args.n_total})")
+                defects = preflight_defects(
+                    th_min, th_max, args.min_cores, args.initial_cores,
+                    args.n_total)
+                if defects:
+                    report = VerificationReport(subject=subject)
+                    report.extend("model-config", [
+                        Finding("model-config", message)
+                        for message in defects])
+                    reports.append(report)
+                    continue
+                model = PerformanceModel(
+                    th_min, th_max, args.n_total,
+                    n_min=args.min_cores,
+                    initial_cores=args.initial_cores)
+                if domain is not None:
+                    model.metric_domain = domain
+                reports.append(verify_performance_model(
+                    model, grid=args.grid, subject=subject))
+    if not args.no_lint:
+        if args.src is not None and not Path(args.src).is_dir():
+            print(f"error: --src '{args.src}' is not a directory",
+                  file=sys.stderr)
+            return 2
+        reports.append(verify_source_tree(args.src))
+    ok = all(report.ok for report in reports)
+    if args.json:
+        import json
+        print(json.dumps(
+            {"ok": ok, "reports": [r.as_dict() for r in reports]},
+            indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+        print(f"verification {'passed' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -151,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
             print(render_table(["experiment", "description"], rows))
         elif args.command == "run":
             print(_run_experiment(args))
+        elif args.command == "verify":
+            return _run_verify(args)
         else:
             print(_run_compare(args))
     except ReproError as exc:

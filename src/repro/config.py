@@ -205,6 +205,35 @@ class ControllerConfig:
             raise ConfigError("initial_cores must be >= min_cores")
 
 
+def preflight_defects(th_min: float, th_max: float, min_cores: int,
+                      initial_cores: int, n_total: int) -> list[str]:
+    """Name every controller-vs-machine contradiction, without raising.
+
+    Used by the controller's pre-flight check (and ``repro verify``) so a
+    defective configuration can be reported as a
+    :class:`~repro.errors.ModelConfigurationError` at ``start()`` time with
+    *all* defects listed, instead of failing on the first one mid-build.
+    """
+    defects = []
+    if th_min >= th_max:
+        defects.append(
+            f"thresholds inverted: th_min={th_min} >= th_max={th_max}")
+    if min_cores < 1:
+        defects.append(f"min_cores={min_cores} must be >= 1")
+    if min_cores > n_total:
+        defects.append(
+            f"min_cores={min_cores} exceeds the machine's "
+            f"n_total={n_total}")
+    if initial_cores > n_total:
+        defects.append(
+            f"initial_cores={initial_cores} exceeds the machine's "
+            f"n_total={n_total}")
+    if initial_cores < min_cores:
+        defects.append(
+            f"initial_cores={initial_cores} below min_cores={min_cores}")
+    return defects
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Behavioural knobs of the simulated DBMS engines.

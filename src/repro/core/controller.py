@@ -18,8 +18,8 @@ construct with ``keepalive=True`` to tick forever until :meth:`stop`).
 
 from __future__ import annotations
 
-from ..config import ControllerConfig
-from ..errors import AllocationError
+from ..config import ControllerConfig, preflight_defects
+from ..errors import AllocationError, ModelConfigurationError
 from ..opsys.system import OperatingSystem
 from ..sim.tracing import ControllerTick, CoreAllocation, TransitionRecord
 from .lonc import LoncTracker
@@ -35,23 +35,35 @@ class ElasticController:
     def __init__(self, os: OperatingSystem, mode: AllocationMode,
                  strategy: TransitionStrategy,
                  config: ControllerConfig | None = None,
-                 keepalive: bool = False):
+                 keepalive: bool = False, verify_model: bool = False):
         self.os = os
         self.mode = mode
         self.strategy = strategy
         base = config or ControllerConfig()
-        # thresholds live on the strategy; fold them into the config copy
-        self.config = ControllerConfig(
-            interval=base.interval,
-            th_min=strategy.th_min, th_max=strategy.th_max,
-            initial_cores=base.initial_cores, min_cores=base.min_cores)
+        self.verify_model = verify_model
+        # a contradictory configuration is held, not raised: start()
+        # reports every defect at once as a ModelConfigurationError
+        self._defects = preflight_defects(
+            strategy.th_min, strategy.th_max, base.min_cores,
+            base.initial_cores, os.topology.n_cores)
+        self.model: PerformanceModel | None
+        if self._defects:
+            self.config = base
+            self.model = None
+        else:
+            # thresholds live on the strategy; fold them into the copy
+            self.config = ControllerConfig(
+                interval=base.interval,
+                th_min=strategy.th_min, th_max=strategy.th_max,
+                initial_cores=base.initial_cores,
+                min_cores=base.min_cores)
+            self.model = PerformanceModel(
+                th_min=strategy.th_min, th_max=strategy.th_max,
+                n_total=os.topology.n_cores,
+                n_min=self.config.min_cores,
+                initial_cores=self.config.initial_cores)
         self.keepalive = keepalive
         self.monitor = Monitor(os)
-        self.model = PerformanceModel(
-            th_min=strategy.th_min, th_max=strategy.th_max,
-            n_total=os.topology.n_cores,
-            n_min=self.config.min_cores,
-            initial_cores=self.config.initial_cores)
         self.lonc = LoncTracker(strategy.th_min, strategy.th_max)
         self.ticks = 0
         self._started = False
@@ -63,9 +75,24 @@ class ElasticController:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Apply the initial mask and schedule the first tick."""
+        """Apply the initial mask and schedule the first tick.
+
+        Pre-flight: a contradictory configuration (inverted thresholds,
+        ``min_cores > n_total`` ...) raises
+        :class:`~repro.errors.ModelConfigurationError`; with
+        ``verify_model=True`` the full static analysis of
+        :func:`repro.verify.verify_performance_model` runs first and any
+        finding raises a :class:`~repro.errors.VerificationError`.
+        """
         if self._started:
             raise AllocationError("controller already started")
+        if self._defects:
+            raise ModelConfigurationError(
+                "refusing to start: " + "; ".join(self._defects))
+        if self.verify_model:
+            # local import: repro.verify imports from repro.core
+            from ..verify import raise_on_findings, verify_performance_model
+            raise_on_findings(verify_performance_model(self.model))
         self._started = True
         self._refresh_priority()
         initial = self.mode.initial_mask(self.config.initial_cores)

@@ -18,7 +18,7 @@ computed once and reused by every client; the compiler in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import PlanError
 from .catalog import Catalog

@@ -47,3 +47,39 @@ class PetriNetError(ReproError):
 
 class AllocationError(ReproError):
     """The core-allocation mechanism attempted an impossible allocation."""
+
+
+class VerificationError(ReproError):
+    """Static verification of the mechanism failed.
+
+    Raised by the :mod:`repro.verify` analyses and by the controller's
+    pre-flight checks.  Subclasses name the property that was violated so
+    callers (and CI logs) can attribute the failure without parsing text.
+    """
+
+
+class ModelConfigurationError(VerificationError):
+    """The configured model contradicts itself or the machine: inverted
+    thresholds (``th_min >= th_max``) or core bounds that cannot fit
+    (``min_cores > n_total`` ...)."""
+
+
+class InvariantViolationError(VerificationError):
+    """A P- or T-invariant the model depends on does not hold structurally
+    (e.g. a place is not covered by any semi-positive P-invariant, so its
+    tokens can leak or accumulate)."""
+
+
+class GuardCoverageError(VerificationError):
+    """The entry guards do not partition the metric domain: some metric
+    value enables zero (gap) or several (overlap) transitions."""
+
+
+class ReachabilityError(VerificationError):
+    """Bounded reachability found a marking where the ``Checks`` token does
+    not return, or a core count outside ``[min_cores, n_total]``."""
+
+
+class DeterminismLintError(VerificationError):
+    """The determinism lint found a reproducibility hazard (wall-clock
+    call, unseeded RNG, mutable default argument, float equality)."""

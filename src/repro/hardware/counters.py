@@ -2,8 +2,8 @@
 
 Counters are cumulative floats addressed by ``(name, index)`` — e.g.
 ``("l3_miss", socket)``, ``("busy_time", core)`` or a per-query family
-like ``("query_ht_bytes", "q6")`` (indexes are any hashable).  Consumers that need
-*rates over a window* (the controller's monitor, the experiment harnesses)
+like ``("query_ht_bytes", "q6")`` (indexes are any hashable).  Consumers
+needing *rates over a window* (the controller's monitor, the harnesses)
 take a :class:`CounterSnapshot` and later diff against a newer one, exactly
 how a real monitoring loop samples MSRs.
 """

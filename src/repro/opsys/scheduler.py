@@ -275,8 +275,9 @@ class Scheduler:
                     batch.extend(item.take_writes(want - len(batch)))
                 faults = self.vm.touch_pages(batch, node, thread)
                 if writes_from < len(batch):
-                    read_result = machine.touch(now, core,
-                                                batch[:writes_from])                         if writes_from else None
+                    read_result = (
+                        machine.touch(now, core, batch[:writes_from])
+                        if writes_from else None)
                     write_result = machine.touch_write(
                         now, core, batch[writes_from:])
                     result = (write_result if read_result is None

@@ -1,0 +1,184 @@
+"""P- and T-invariants of the net, computed exactly over the integers.
+
+A **P-invariant** is a vector ``y >= 0`` with ``y^T C = 0`` (``C`` the
+incidence matrix): the ``y``-weighted token count is constant under any
+firing.  A **T-invariant** is ``x >= 0`` with ``C x = 0``: firing each
+transition ``x[t]`` times reproduces the marking — the net's repeatable
+cycles.  For the paper's performance model (Figs 8-11) the expected
+invariants are
+
+* ``Checks + Idle + Stable + Overload = 1`` — the monitoring token is
+  conserved: it is always in exactly one of the four control places;
+* ``Idle + Overload + Provision = 1`` — the core-count token is either
+  parked in ``Provision`` or travelling through ``Idle``/``Overload``;
+* the five firing cycles ``{t0,t4}``, ``{t0,t7}``, ``{t1,t5}``,
+  ``{t1,t6}``, ``{t2,t3}`` — every tick is one entry/exit pair.
+
+Two computations are provided: an exact rational **nullspace basis**
+(arbitrary sign, scaled to primitive integer vectors) and the canonical
+**minimal semi-positive invariants** via the Farkas algorithm, which is
+what the coverage checks use: a place covered by a semi-positive
+P-invariant is structurally bounded and its tokens conserved; a
+transition covered by a semi-positive T-invariant can take part in a
+repeatable cycle.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+
+import numpy as np
+
+from .report import Finding
+from .structure import NetStructure
+
+_Vector = tuple[int, ...]
+
+
+def _primitive(vector: list[Fraction]) -> _Vector:
+    """Scale a rational vector to coprime integers, first nonzero > 0."""
+    denominator_lcm = 1
+    for value in vector:
+        if value:
+            denominator_lcm = (denominator_lcm * value.denominator
+                               // gcd(denominator_lcm, value.denominator))
+    ints = [int(value * denominator_lcm) for value in vector]
+    divisor = 0
+    for value in ints:
+        divisor = gcd(divisor, abs(value))
+    if divisor > 1:
+        ints = [value // divisor for value in ints]
+    for value in ints:
+        if value:
+            if value < 0:
+                ints = [-v for v in ints]
+            break
+    return tuple(ints)
+
+
+def nullspace(matrix: np.ndarray) -> list[_Vector]:
+    """Integer basis of ``{x : matrix @ x = 0}`` by exact elimination."""
+    n_rows, n_cols = matrix.shape
+    rows = [[Fraction(int(v)) for v in matrix[i]] for i in range(n_rows)]
+    pivot_of_col: dict[int, int] = {}
+    rank = 0
+    for col in range(n_cols):
+        pivot_row = next(
+            (r for r in range(rank, n_rows) if rows[r][col]), None)
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        rows[rank] = [value / pivot for value in rows[rank]]
+        for r in range(n_rows):
+            if r != rank and rows[r][col]:
+                factor = rows[r][col]
+                rows[r] = [a - factor * b
+                           for a, b in zip(rows[r], rows[rank])]
+        pivot_of_col[col] = rank
+        rank += 1
+    basis = []
+    free_cols = [c for c in range(n_cols) if c not in pivot_of_col]
+    for free in free_cols:
+        vector = [Fraction(0)] * n_cols
+        vector[free] = Fraction(1)
+        for col, row in pivot_of_col.items():
+            vector[col] = -rows[row][free]
+        basis.append(_primitive(vector))
+    return basis
+
+
+def _farkas(matrix: np.ndarray) -> list[_Vector]:
+    """Minimal semi-positive solutions of ``y^T matrix = 0``, ``y >= 0``.
+
+    Classic Farkas construction: start from ``[matrix | I]`` and
+    eliminate the matrix columns one by one, keeping only non-negative
+    row combinations; the identity part of the surviving rows are the
+    semi-positive invariants.  Non-minimal supports are filtered out.
+    """
+    n_rows, n_cols = matrix.shape
+    table = [[int(matrix[i, j]) for j in range(n_cols)]
+             + [1 if k == i else 0 for k in range(n_rows)]
+             for i in range(n_rows)]
+    for col in range(n_cols):
+        kept = [row for row in table if row[col] == 0]
+        positive = [row for row in table if row[col] > 0]
+        negative = [row for row in table if row[col] < 0]
+        for row_pos in positive:
+            for row_neg in negative:
+                scale_pos, scale_neg = -row_neg[col], row_pos[col]
+                combined = [scale_pos * a + scale_neg * b
+                            for a, b in zip(row_pos, row_neg)]
+                divisor = 0
+                for value in combined:
+                    divisor = gcd(divisor, abs(value))
+                if divisor > 1:
+                    combined = [value // divisor for value in combined]
+                kept.append(combined)
+        table = kept
+    invariants = {tuple(row[n_cols:]) for row in table
+                  if any(row[n_cols:])}
+    minimal = []
+    for candidate in sorted(invariants):
+        support = {i for i, v in enumerate(candidate) if v}
+        if not any(
+                {i for i, v in enumerate(other) if v} < support
+                for other in invariants if other != candidate):
+            minimal.append(candidate)
+    return minimal
+
+
+def p_invariants(structure: NetStructure) -> list[_Vector]:
+    """Minimal semi-positive P-invariants (weights over places)."""
+    return _farkas(structure.incidence)
+
+
+def t_invariants(structure: NetStructure) -> list[_Vector]:
+    """Minimal semi-positive T-invariants (counts over transitions)."""
+    return _farkas(structure.incidence.T)
+
+
+def invariant_supports(invariants: list[_Vector],
+                       names: tuple[str, ...]) -> list[frozenset[str]]:
+    """The named supports of a list of invariant vectors."""
+    return [frozenset(names[i] for i, v in enumerate(vector) if v)
+            for vector in invariants]
+
+
+def is_invariant(structure: NetStructure, weights: dict[str, int]) -> bool:
+    """Whether a specific place weighting is conserved by every firing."""
+    vector = np.array([weights.get(place, 0)
+                       for place in structure.places], dtype=np.int64)
+    return not (vector @ structure.incidence).any()
+
+
+def check_invariants(structure: NetStructure) -> list[Finding]:
+    """Coverage checks: conservation for places, cyclability for
+    transitions."""
+    findings: list[Finding] = []
+    p_cover: set[str] = set()
+    for support in invariant_supports(p_invariants(structure),
+                                      structure.places):
+        p_cover |= support
+    for place in structure.places:
+        if place not in p_cover:
+            findings.append(Finding(
+                "p-invariant",
+                "place is not covered by any semi-positive P-invariant: "
+                "no conservation law holds for its tokens, so a token "
+                "deposited there can be lost or accumulate without bound",
+                location=place))
+    t_cover: set[str] = set()
+    for support in invariant_supports(t_invariants(structure),
+                                      structure.transitions):
+        t_cover |= support
+    for transition in structure.transitions:
+        if transition not in t_cover:
+            findings.append(Finding(
+                "t-invariant",
+                "transition is not covered by any semi-positive "
+                "T-invariant: it cannot take part in any repeatable "
+                "firing cycle, so firing it permanently shifts the "
+                "marking", location=transition))
+    return findings

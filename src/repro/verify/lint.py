@@ -1,0 +1,271 @@
+"""Determinism lint: an ``ast`` pass over the package source.
+
+The simulation's headline guarantee — same seed, same trace — holds only
+if nothing in the package smuggles in ambient nondeterminism.  Nothing
+enforced that until now.  This pass parses every ``.py`` file under a
+root (by default the installed ``repro`` package) and flags:
+
+* ``lint:wall-clock`` — reading the host clock (``time.time``,
+  ``datetime.now`` ...).  Inside the strict zones (``core/``, ``sim/``,
+  ``opsys/``) *any* clock read is flagged, including monotonic ones;
+  outside them only absolute wall-clock reads are (``perf_counter``
+  duration measurements in the experiment harnesses are legitimate);
+* ``lint:unseeded-random`` — the global ``random`` module functions, the
+  legacy ``numpy.random`` global functions, and ``Random()`` /
+  ``default_rng()`` / ``RandomState()`` constructed without a seed;
+* ``lint:mutable-default`` — ``def f(x=[])`` and friends: state shared
+  across calls;
+* ``lint:float-equality`` — ``==`` / ``!=`` against a float literal in
+  the strict zones, where threshold comparisons must be orderings.
+
+A line ending in ``# verify: allow`` is exempt (the escape hatch for a
+justified exception; use sparingly).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .report import Finding
+
+#: subtrees where every rule applies (the reproducibility-critical code)
+STRICT_ZONES = ("core", "sim", "opsys")
+
+#: time.<attr> reads that are wall-clock everywhere
+_WALL_CLOCK = {"time", "time_ns", "ctime", "localtime", "gmtime",
+               "asctime", "strftime"}
+
+#: time.<attr> reads flagged only inside the strict zones
+_MONOTONIC = {"monotonic", "monotonic_ns", "perf_counter",
+              "perf_counter_ns", "process_time", "process_time_ns"}
+
+#: datetime constructors that read the clock
+_DATETIME_NOW = {"now", "utcnow", "today", "fromtimestamp"}
+
+#: random-module functions backed by the hidden global generator
+_GLOBAL_RANDOM = {"random", "randint", "randrange", "uniform",
+                  "choice", "choices", "shuffle", "sample", "gauss",
+                  "normalvariate", "expovariate", "betavariate",
+                  "triangular", "vonmisesvariate", "paretovariate",
+                  "weibullvariate", "lognormvariate", "getrandbits",
+                  "randbytes", "seed"}
+
+#: numpy.random legacy global functions (module-level hidden state)
+_NUMPY_GLOBAL = {"rand", "randn", "randint", "random", "random_sample",
+                 "choice", "shuffle", "permutation", "uniform", "normal",
+                 "standard_normal", "exponential", "poisson", "binomial",
+                 "beta", "gamma", "seed", "sample", "ranf"}
+
+#: constructors that need an explicit seed argument
+_SEEDED_CTORS = {"Random", "default_rng", "RandomState", "SeedSequence",
+                 "Generator"}
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty when not a pure chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Collects findings for one parsed module."""
+
+    def __init__(self, path: Path, relative: str, strict: bool,
+                 source_lines: list[str]):
+        self.path = path
+        self.relative = relative
+        self.strict = strict
+        self.lines = source_lines
+        self.findings: list[Finding] = []
+        #: local aliases of the random / numpy.random modules
+        self.random_aliases = {"random"}
+        self.numpy_aliases: set[str] = set()
+        self.numpy_random_aliases: set[str] = set()
+        self.time_aliases = {"time"}
+        self.datetime_modules = {"datetime"}
+
+    # -- imports establish which names mean what -----------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(local)
+            elif alias.name in ("numpy", "numpy.random"):
+                if alias.name == "numpy.random" and alias.asname:
+                    self.numpy_random_aliases.add(local)
+                else:
+                    self.numpy_aliases.add(local)
+            elif alias.name == "time":
+                self.time_aliases.add(local)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "numpy" and alias.name == "random":
+                self.numpy_random_aliases.add(local)
+            elif node.module == "time" and alias.name in (
+                    _WALL_CLOCK | _MONOTONIC):
+                self._flag_clock(node, alias.name, f"time.{alias.name}")
+            elif node.module == "random" and alias.name in _GLOBAL_RANDOM:
+                self._report(node, "lint:unseeded-random",
+                             f"'from random import {alias.name}' uses "
+                             f"the hidden global generator; pass a "
+                             f"seeded random.Random instance instead")
+        self.generic_visit(node)
+
+    # -- findings ------------------------------------------------------
+
+    def _allowed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].rstrip().endswith(
+                "# verify: allow")
+        return False
+
+    def _report(self, node: ast.AST, check: str, message: str) -> None:
+        if not self._allowed(node):
+            self.findings.append(Finding(
+                check, message,
+                location=f"{self.relative}:{getattr(node, 'lineno', 0)}"))
+
+    def _flag_clock(self, node: ast.AST, func: str, dotted: str) -> None:
+        if func in _WALL_CLOCK or func in _DATETIME_NOW:
+            self._report(node, "lint:wall-clock",
+                         f"{dotted}() reads the host wall clock; "
+                         f"simulated components must use the "
+                         f"simulator's clock")
+        elif self.strict and func in _MONOTONIC:
+            self._report(node, "lint:wall-clock",
+                         f"{dotted}() reads a host clock inside a "
+                         f"reproducibility-critical zone")
+
+    # -- calls ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if len(chain) >= 2:
+            root, leaf = chain[0], chain[-1]
+            middle = chain[1:-1]
+            if root in self.time_aliases and len(chain) == 2:
+                self._flag_clock(node, leaf, f"{root}.{leaf}")
+            elif (root in self.datetime_modules
+                  and leaf in _DATETIME_NOW and len(chain) <= 3):
+                self._flag_clock(node, leaf, ".".join(chain))
+            elif (root in self.random_aliases and len(chain) == 2
+                  and leaf in _GLOBAL_RANDOM):
+                self._report(node, "lint:unseeded-random",
+                             f"{root}.{leaf}() uses the module-global "
+                             f"generator; use a seeded random.Random")
+            elif ((root in self.numpy_aliases and middle == ["random"]
+                   or root in self.numpy_random_aliases
+                   and len(chain) == 2)
+                  and leaf in _NUMPY_GLOBAL):
+                self._report(node, "lint:unseeded-random",
+                             f"{'.'.join(chain)}() uses numpy's legacy "
+                             f"global state; use "
+                             f"numpy.random.default_rng(seed)")
+            if leaf in _SEEDED_CTORS and not node.args and not any(
+                    kw.arg in ("seed", "x") for kw in node.keywords):
+                if (root in self.random_aliases
+                        or root in self.numpy_aliases
+                        or root in self.numpy_random_aliases):
+                    self._report(node, "lint:unseeded-random",
+                                 f"{'.'.join(chain)}() without a seed "
+                                 f"draws entropy from the OS; pass an "
+                                 f"explicit seed")
+        elif len(chain) == 1 and chain[0] in _SEEDED_CTORS:
+            if not node.args and not any(
+                    kw.arg in ("seed", "x") for kw in node.keywords):
+                self._report(node, "lint:unseeded-random",
+                             f"{chain[0]}() without a seed draws "
+                             f"entropy from the OS; pass an explicit "
+                             f"seed")
+        self.generic_visit(node)
+
+    # -- defaults and comparisons --------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set",
+                                            "bytearray")):
+                mutable = True
+            if mutable:
+                name = getattr(node, "name", "<lambda>")
+                self._report(default, "lint:mutable-default",
+                             f"mutable default argument in {name}(): "
+                             f"the object is shared across calls")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.strict:
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                for side in (node.left, right):
+                    if (isinstance(side, ast.Constant)
+                            and isinstance(side.value, float)):
+                        self._report(
+                            node, "lint:float-equality",
+                            f"direct {symbol} against float literal "
+                            f"{side.value!r}; accumulated rounding "
+                            f"makes this unstable — compare with an "
+                            f"ordering or math.isclose")
+                        break
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, relative: str | None = None,
+              strict: bool | None = None) -> list[Finding]:
+    """Lint one file; ``strict`` defaults to zone membership."""
+    relative = relative if relative is not None else path.name
+    if strict is None:
+        parts = Path(relative).parts
+        strict = any(zone in parts for zone in STRICT_ZONES)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding("lint:wall-clock",
+                        f"file does not parse: {exc.msg}",
+                        location=f"{relative}:{exc.lineno or 0}")]
+    linter = _FileLinter(path, relative, strict, source.splitlines())
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    """Lint every ``*.py`` under ``root``; locations are root-relative."""
+    root = Path(root)
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, relative))
+    return findings

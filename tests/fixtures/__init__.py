@@ -1,0 +1,1 @@
+"""Deliberately broken model fixtures for the verification tests."""

@@ -1,0 +1,148 @@
+"""Deliberately broken performance models for the verify test-suite.
+
+Each ``build_*`` function returns an object with the model surface the
+static analyses expect (``net``, ``th_min``, ``th_max``, ``n_total``,
+``n_min``, ``nalloc``), built around a *defective* variant of the
+paper's 5-place / 8-transition net.  The CLI loads them via
+``repro verify --fixture tests/fixtures/broken_models.py:build_gap``.
+
+Defects on offer:
+
+* :func:`build_gap` — ``t2`` only accepts ``u > th_min + 15``: metric
+  values in ``(th_min, th_min + 15]`` enable nothing (guard gap);
+* :func:`build_overlap` — ``t0`` accepts up to ``th_min + 15``,
+  overlapping ``t2`` (guard overlap);
+* :func:`build_leaky` — ``t4`` forgets to return the token to
+  ``Checks`` (non-conservative arc: the monitoring token is lost);
+* :func:`build_no_floor` — ``t7`` is missing: at ``nalloc == n_min`` an
+  Idle classification deadlocks (the Checks token never returns);
+* :func:`build_overshoot` — ``t5``'s bound is ``n_total + 2``: the
+  core-count token can leave ``[n_min, n_total]``.
+"""
+
+from __future__ import annotations
+
+from repro.core.petrinet import Arc, OutputArc, PetriNet, Transition
+
+
+class BrokenModel:
+    """The duck-typed model surface around a hand-built net."""
+
+    def __init__(self, net: PetriNet, th_min: float, th_max: float,
+                 n_total: int, n_min: int = 1):
+        self.net = net
+        self.th_min = th_min
+        self.th_max = th_max
+        self.n_total = n_total
+        self.n_min = n_min
+        self.metric_domain = (0.0, 100.0)
+
+    @property
+    def nalloc(self) -> int:
+        token = self.net.place("Provision").peek()
+        return int(token[0]) if token else self.n_min
+
+
+def _build_net(th_min: float, th_max: float, n_total: int, n_min: int,
+               *, t0_hi: float | None = None, t2_lo: float | None = None,
+               leak_t4: bool = False, include_t7: bool = True,
+               t5_cap: int | None = None) -> PetriNet:
+    """The paper's net with injectable defects (defaults are correct)."""
+    t0_hi = th_min if t0_hi is None else t0_hi
+    t2_lo = th_min if t2_lo is None else t2_lo
+    t5_cap = n_total if t5_cap is None else t5_cap
+    net = PetriNet()
+    for place in ("Checks", "Idle", "Stable", "Overload", "Provision"):
+        net.add_place(place)
+    net.add_transition(Transition(
+        "t0", guard=lambda b: b["u"] <= t0_hi,
+        guard_text=f"u <= {t0_hi}",
+        inputs=[Arc("Checks", ("u",), "u"),
+                Arc("Provision", ("na",), "na")],
+        outputs=[OutputArc("Idle", lambda b: (b["u"], b["na"]), "na")]))
+    net.add_transition(Transition(
+        "t1", guard=lambda b: b["u"] >= th_max,
+        guard_text=f"u >= {th_max}",
+        inputs=[Arc("Checks", ("u",), "u"),
+                Arc("Provision", ("na",), "na")],
+        outputs=[OutputArc("Overload",
+                           lambda b: (b["u"], b["na"]), "na")]))
+    net.add_transition(Transition(
+        "t2", guard=lambda b: t2_lo < b["u"] < th_max,
+        guard_text=f"{t2_lo} < u < {th_max}",
+        inputs=[Arc("Checks", ("u",), "u")],
+        outputs=[OutputArc("Stable", lambda b: (b["u"],), "u")]))
+    t4_outputs = [OutputArc("Provision", lambda b: (b["na"] - 1,), "na")]
+    if not leak_t4:
+        t4_outputs.append(OutputArc("Checks", lambda b: (b["u"],), "u"))
+    net.add_transition(Transition(
+        "t4", guard=lambda b: b["na"] > n_min,
+        guard_text=f"nalloc > {n_min}",
+        inputs=[Arc("Idle", ("u", "na"), "na")], outputs=t4_outputs))
+    if include_t7:
+        net.add_transition(Transition(
+            "t7", guard=lambda b: b["na"] == n_min,
+            guard_text=f"nalloc == {n_min}",
+            inputs=[Arc("Idle", ("u", "na"), "na")],
+            outputs=[OutputArc("Provision", lambda b: (b["na"],), "na"),
+                     OutputArc("Checks", lambda b: (b["u"],), "u")]))
+    net.add_transition(Transition(
+        "t5", guard=lambda b: b["na"] < t5_cap,
+        guard_text=f"nalloc < {t5_cap}",
+        inputs=[Arc("Overload", ("u", "na"), "na")],
+        outputs=[OutputArc("Provision", lambda b: (b["na"] + 1,), "na"),
+                 OutputArc("Checks", lambda b: (b["u"],), "u")]))
+    net.add_transition(Transition(
+        "t6", guard=lambda b: b["na"] == t5_cap,
+        guard_text=f"nalloc == {t5_cap}",
+        inputs=[Arc("Overload", ("u", "na"), "na")],
+        outputs=[OutputArc("Provision", lambda b: (b["na"],), "na"),
+                 OutputArc("Checks", lambda b: (b["u"],), "u")]))
+    net.add_transition(Transition(
+        "t3", inputs=[Arc("Stable", ("u",), "u")],
+        outputs=[OutputArc("Checks", lambda b: (b["u"],), "u")]))
+    net.set_token("Provision", (float(n_min),))
+    return net
+
+
+def build_correct() -> BrokenModel:
+    """Control case: the defect-free net (verification must pass)."""
+    return BrokenModel(_build_net(10.0, 70.0, 4, 1), 10.0, 70.0, 4)
+
+
+def build_gap() -> BrokenModel:
+    """Guard gap: no transition accepts u in (10, 25]."""
+    model = BrokenModel(_build_net(10.0, 70.0, 4, 1, t2_lo=25.0),
+                        10.0, 70.0, 4)
+    model.breakpoints = (25.0,)
+    return model
+
+
+def build_overlap() -> BrokenModel:
+    """Guard overlap: both t0 and t2 accept u in (10, 25]."""
+    model = BrokenModel(_build_net(10.0, 70.0, 4, 1, t0_hi=25.0),
+                        10.0, 70.0, 4)
+    model.breakpoints = (25.0,)
+    return model
+
+
+def build_leaky() -> BrokenModel:
+    """Non-conservative arc: t4 drops the monitoring token."""
+    return BrokenModel(_build_net(10.0, 70.0, 4, 1, leak_t4=True),
+                       10.0, 70.0, 4)
+
+
+def build_no_floor() -> BrokenModel:
+    """Missing t7: Idle at nalloc == n_min deadlocks."""
+    return BrokenModel(_build_net(10.0, 70.0, 4, 1, include_t7=False),
+                       10.0, 70.0, 4)
+
+
+def build_overshoot() -> BrokenModel:
+    """t5 bound too high: the core count can exceed n_total."""
+    return BrokenModel(_build_net(10.0, 70.0, 4, 1, t5_cap=6),
+                       10.0, 70.0, 4)
+
+
+#: default fixture for ``--fixture`` without a function suffix
+build = build_gap

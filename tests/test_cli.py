@@ -1,8 +1,14 @@
 """The command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+BROKEN_MODELS = str(FIXTURES / "broken_models.py")
 
 
 def test_every_experiment_is_registered():
@@ -56,3 +62,74 @@ def test_compare_command(capsys):
     out = capsys.readouterr().out
     assert "monetdb/OS" in out
     assert "monetdb/adaptive" in out
+
+
+# ------------------------------------------------------------------
+# the verify subcommand
+# ------------------------------------------------------------------
+
+def test_verify_clean_run_exits_zero(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verification passed" in out
+    for check in ("guard-coverage", "reachability", "p-invariant",
+                  "lint:wall-clock"):
+        assert check in out
+
+
+def test_verify_json_schema(capsys):
+    assert main(["verify", "--json", "--strategy", "cpu_load",
+                 "--no-lint"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    (report,) = document["reports"]
+    assert set(report) == {"subject", "ok", "checks", "findings"}
+    assert "guard-coverage" in report["checks"]
+    assert report["findings"] == []
+
+
+def test_verify_guard_gap_fixture_fails_naming_property(capsys):
+    code = main(["verify", "--no-lint",
+                 "--fixture", f"{BROKEN_MODELS}:build_gap"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "guard-coverage" in out and "gap" in out
+    assert "verification FAILED" in out
+
+
+def test_verify_nonconservative_fixture_fails(capsys):
+    code = main(["verify", "--no-lint", "--json",
+                 "--fixture", f"{BROKEN_MODELS}:build_leaky"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is False
+    checks = {f["check"] for r in document["reports"]
+              for f in r["findings"]}
+    assert "p-invariant" in checks
+
+
+def test_verify_injected_wall_clock_fails(tmp_path, capsys):
+    core = tmp_path / "core"
+    core.mkdir()
+    core.joinpath("clock.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n")
+    code = main(["verify", "--no-model", "--src", str(tmp_path)])
+    assert code == 1
+    assert "lint:wall-clock" in capsys.readouterr().out
+
+
+def test_verify_clean_src_tree_passes(tmp_path):
+    tmp_path.joinpath("ok.py").write_text("x = 1\n")
+    assert main(["verify", "--no-model", "--src", str(tmp_path)]) == 0
+
+
+def test_verify_inverted_thresholds_reported_not_crashed(capsys):
+    code = main(["verify", "--no-lint", "--strategy", "cpu_load",
+                 "--th-min", "70", "--th-max", "10"])
+    assert code == 1
+    assert "thresholds inverted" in capsys.readouterr().out
+
+
+def test_verify_missing_fixture_is_an_error(capsys):
+    assert main(["verify", "--fixture", "/does/not/exist.py"]) == 2
+    assert "not found" in capsys.readouterr().err

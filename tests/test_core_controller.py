@@ -6,7 +6,8 @@ from repro.config import ControllerConfig
 from repro.core.controller import ElasticController
 from repro.core.modes import make_mode
 from repro.core.strategies import CpuLoadStrategy
-from repro.errors import AllocationError
+from repro.errors import (AllocationError, ModelConfigurationError,
+                          ReproError, VerificationError)
 from repro.hardware.prebuilt import small_numa
 from repro.opsys.system import OperatingSystem
 from repro.opsys.workitem import ListWorkSource, WorkItem
@@ -138,3 +139,57 @@ def test_run_pipeline_once_returns_chain():
     chain = controller.run_pipeline_once()
     assert chain.state in ("Idle", "Stable", "Overload")
     assert controller.ticks == 1
+
+
+# ------------------------------------------------------------------
+# static pre-flight (the verification layer)
+# ------------------------------------------------------------------
+
+class _InvertedStrategy(CpuLoadStrategy):
+    """A custom strategy that bypasses constructor validation."""
+
+    def __init__(self):
+        self.th_min = 70.0
+        self.th_max = 10.0
+
+
+def test_inverted_thresholds_raise_verification_error_at_start():
+    os_ = OperatingSystem(small_numa())
+    controller = ElasticController(
+        os_, make_mode("dense", os_.topology), _InvertedStrategy())
+    assert controller.model is None
+    with pytest.raises(ModelConfigurationError, match="inverted"):
+        controller.start()
+
+
+def test_min_cores_beyond_machine_raises_at_start():
+    n_cores = small_numa().n_cores
+    os_, controller = make_controller(
+        min_cores=n_cores + 1, initial_cores=n_cores + 1)
+    with pytest.raises(VerificationError, match="min_cores"):
+        controller.start()
+
+
+def test_preflight_reports_every_defect_at_once():
+    os_ = OperatingSystem(small_numa())
+    controller = ElasticController(
+        os_, make_mode("dense", os_.topology), _InvertedStrategy(),
+        ControllerConfig(min_cores=99, initial_cores=99))
+    with pytest.raises(ModelConfigurationError) as excinfo:
+        controller.start()
+    message = str(excinfo.value)
+    assert "inverted" in message and "min_cores" in message
+
+
+def test_verify_model_preflight_passes_on_valid_config():
+    os_ = OperatingSystem(small_numa())
+    controller = ElasticController(
+        os_, make_mode("dense", os_.topology), CpuLoadStrategy(),
+        verify_model=True)
+    controller.start()
+    assert controller.n_allocated == 1
+
+
+def test_verification_error_is_a_repro_error():
+    assert issubclass(ModelConfigurationError, VerificationError)
+    assert issubclass(VerificationError, ReproError)

@@ -1,0 +1,98 @@
+"""P/T-invariant computation vs the hand-derived invariants of Figs 8-11.
+
+The paper's 5-place / 8-transition net has exactly two minimal
+semi-positive P-invariants and five minimal T-invariants, derivable by
+hand from the incidence matrix (paper Figs 8-11):
+
+* ``Checks + Idle + Stable + Overload = 1`` — the monitoring token is
+  always in exactly one control place;
+* ``Idle + Overload + Provision = 1`` — the core-count token is parked
+  in Provision or in flight through Idle/Overload;
+* firing cycles ``{t0,t4}``, ``{t0,t7}``, ``{t1,t5}``, ``{t1,t6}``,
+  ``{t2,t3}`` — the five entry/exit pairs of Fig 7.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PerformanceModel
+from repro.verify import (invariant_supports, is_invariant, nullspace,
+                          p_invariants, t_invariants)
+from repro.verify.structure import NetStructure
+
+from tests.fixtures.broken_models import build_leaky
+
+
+@pytest.fixture
+def structure() -> NetStructure:
+    return NetStructure.from_net(PerformanceModel(10, 70, 16).net)
+
+
+def test_p_invariants_match_hand_derivation(structure):
+    invariants = p_invariants(structure)
+    supports = set(invariant_supports(invariants, structure.places))
+    assert supports == {
+        frozenset({"Checks", "Idle", "Stable", "Overload"}),
+        frozenset({"Idle", "Overload", "Provision"}),
+    }
+    # the weights are all 1: plain token-count conservation
+    for vector in invariants:
+        assert set(vector) <= {0, 1}
+
+
+def test_t_invariants_match_hand_derivation(structure):
+    supports = set(invariant_supports(t_invariants(structure),
+                                      structure.transitions))
+    assert supports == {
+        frozenset({"t0", "t4"}), frozenset({"t0", "t7"}),
+        frozenset({"t1", "t5"}), frozenset({"t1", "t6"}),
+        frozenset({"t2", "t3"}),
+    }
+    # every T-invariant fires each member exactly once (one tick)
+    for vector in t_invariants(structure):
+        assert set(vector) <= {0, 1}
+
+
+def test_specific_conservation_laws_hold(structure):
+    assert is_invariant(structure, {"Checks": 1, "Idle": 1,
+                                    "Stable": 1, "Overload": 1})
+    assert is_invariant(structure, {"Idle": 1, "Overload": 1,
+                                    "Provision": 1})
+    # a wrong weighting is rejected
+    assert not is_invariant(structure, {"Checks": 1, "Provision": 1})
+
+
+def test_invariants_annihilate_incidence(structure):
+    incidence = structure.incidence
+    for y in p_invariants(structure):
+        assert not (np.array(y) @ incidence).any()
+    for x in t_invariants(structure):
+        assert not (incidence @ np.array(x)).any()
+
+
+def test_nullspace_dimensions(structure):
+    incidence = structure.incidence
+    # rank(C) = 3, so dim ker(C) = 8-3 = 5 and dim ker(C^T) = 5-3 = 2
+    assert len(nullspace(incidence)) == 5
+    assert len(nullspace(incidence.T)) == 2
+    for basis_vector in nullspace(incidence):
+        assert not (incidence @ np.array(basis_vector)).any()
+
+
+def test_leaky_net_loses_checks_coverage():
+    structure = NetStructure.from_net(build_leaky().net)
+    covered = set()
+    for support in invariant_supports(p_invariants(structure),
+                                      structure.places):
+        covered |= support
+    assert "Checks" not in covered
+    assert not is_invariant(structure, {"Checks": 1, "Idle": 1,
+                                        "Stable": 1, "Overload": 1})
+
+
+def test_invariants_independent_of_thresholds():
+    # the structure is threshold-independent: HT/IMC model, same nets
+    a = NetStructure.from_net(PerformanceModel(10, 70, 16).net)
+    b = NetStructure.from_net(PerformanceModel(0.1, 0.4, 4).net)
+    assert p_invariants(a) == p_invariants(b)
+    assert t_invariants(a) == t_invariants(b)

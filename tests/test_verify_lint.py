@@ -1,0 +1,118 @@
+"""The determinism lint: every rule, the escape hatch, the shipped tree."""
+
+from pathlib import Path
+
+from repro.verify import lint_file, lint_tree, verify_source_tree
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint_snippet(tmp_path: Path, code: str, name="core/sample.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code)
+    return lint_file(path, relative=name)
+
+
+def test_wall_clock_call_is_flagged(tmp_path):
+    findings = _lint_snippet(tmp_path, "import time\n"
+                             "def tick():\n"
+                             "    return time.time()\n")
+    assert [f.check for f in findings] == ["lint:wall-clock"]
+    assert findings[0].location == "core/sample.py:3"
+
+
+def test_datetime_now_is_flagged(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import datetime\n"
+        "stamp = datetime.datetime.now()\n")
+    assert any(f.check == "lint:wall-clock" for f in findings)
+
+
+def test_monotonic_clock_allowed_outside_strict_zones(tmp_path):
+    code = ("import time\n"
+            "def measure():\n"
+            "    return time.perf_counter()\n")
+    assert _lint_snippet(tmp_path, code,
+                         name="experiments/sample.py") == []
+    assert _lint_snippet(tmp_path, code, name="sim/sample.py")
+
+
+def test_global_random_is_flagged(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import random\n"
+        "def pick(items):\n"
+        "    return random.choice(items)\n",
+        name="workloads/sample.py")
+    assert [f.check for f in findings] == ["lint:unseeded-random"]
+
+
+def test_seeded_rng_is_clean(tmp_path):
+    assert _lint_snippet(
+        tmp_path, "import random\n"
+        "import numpy as np\n"
+        "def make(seed):\n"
+        "    return random.Random(seed), np.random.default_rng(seed)\n"
+    ) == []
+
+
+def test_unseeded_constructors_are_flagged(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import random\n"
+        "import numpy as np\n"
+        "a = random.Random()\n"
+        "b = np.random.default_rng()\n")
+    assert len([f for f in findings
+                if f.check == "lint:unseeded-random"]) == 2
+
+
+def test_numpy_legacy_global_is_flagged(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import numpy as np\n"
+        "x = np.random.rand(4)\n", name="db/sample.py")
+    assert [f.check for f in findings] == ["lint:unseeded-random"]
+
+
+def test_mutable_default_is_flagged(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "def collect(into=[]):\n"
+        "    return into\n", name="analysis/sample.py")
+    assert [f.check for f in findings] == ["lint:mutable-default"]
+
+
+def test_float_equality_flagged_only_in_strict_zones(tmp_path):
+    code = "def same(x):\n    return x == 0.5\n"
+    strict = _lint_snippet(tmp_path, code, name="opsys/sample.py")
+    assert [f.check for f in strict] == ["lint:float-equality"]
+    assert _lint_snippet(tmp_path, code,
+                         name="workloads/sample.py") == []
+
+
+def test_integer_equality_is_fine(tmp_path):
+    assert _lint_snippet(tmp_path,
+                         "def same(x):\n    return x == 3\n") == []
+
+
+def test_allow_comment_suppresses(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import time\n"
+        "def tick():\n"
+        "    return time.time()  # verify: allow\n")
+    assert findings == []
+
+
+def test_lint_tree_walks_recursively(tmp_path):
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "a.py").write_text(
+        "import time\nnow = time.time()\n")
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    findings = lint_tree(tmp_path)
+    assert [f.location for f in findings] == ["core/a.py:2"]
+
+
+def test_shipped_source_tree_is_clean():
+    report = verify_source_tree(SRC_ROOT)
+    assert report.ok, report.render()
+    assert set(report.checks_run) == {
+        "lint:wall-clock", "lint:unseeded-random",
+        "lint:mutable-default", "lint:float-equality"}

@@ -1,0 +1,80 @@
+"""Property tests: conservation and Checks-return under random configs.
+
+Hypothesis drives the performance model with random valid threshold
+pairs and random tick sequences and asserts the invariants the static
+layer proves — the dynamic counterpart that would catch a divergence
+between the analyses and the executable semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PerformanceModel
+from repro.verify import verify_performance_model
+
+#: a valid (th_min, th_max) pair over the CPU-load range
+thresholds = st.tuples(
+    st.floats(min_value=0.0, max_value=95.0, allow_nan=False,
+              allow_infinity=False),
+    st.floats(min_value=1.0, max_value=95.0, allow_nan=False,
+              allow_infinity=False),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+#: machine/floor sizing with 1 <= n_min <= initial <= n_total
+sizing = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n_total: st.tuples(
+        st.just(n_total),
+        st.integers(min_value=1, max_value=n_total)).flatmap(
+            lambda pair: st.tuples(
+                st.just(pair[0]),
+                st.just(pair[1]),
+                st.integers(min_value=pair[1], max_value=pair[0]))))
+
+#: a tick sequence of metric values (in and out of the stable band)
+metrics = st.lists(
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False,
+              allow_infinity=False), min_size=1, max_size=60)
+
+
+@given(thresholds=thresholds, sizing=sizing, metrics=metrics)
+@settings(max_examples=60, deadline=None)
+def test_token_conservation_under_random_ticks(thresholds, sizing,
+                                               metrics):
+    th_min, th_max = thresholds
+    n_total, n_min, initial = sizing
+    model = PerformanceModel(th_min, th_max, n_total, n_min=n_min,
+                             initial_cores=initial)
+    for metric in metrics:
+        chain = model.run_cycle(metric)
+        # the Checks token returned: exactly it plus the core token
+        assert len(model.net.place("Checks")) == 1
+        assert model.net.total_tokens() == 2
+        # core conservation: allocated + free == n_total, never outside
+        assert n_min <= model.nalloc <= n_total
+        assert 0 <= n_total - model.nalloc <= n_total - n_min
+        # one entry, one exit, consistent classification
+        assert chain.state == model.state_of(metric)
+
+
+@given(thresholds=thresholds, metrics=metrics)
+@settings(max_examples=30, deadline=None)
+def test_core_count_moves_one_step_per_tick(thresholds, metrics):
+    th_min, th_max = thresholds
+    model = PerformanceModel(th_min, th_max, 6)
+    previous = model.nalloc
+    for metric in metrics:
+        model.run_cycle(metric)
+        assert abs(model.nalloc - previous) <= 1
+        previous = model.nalloc
+
+
+@given(thresholds=thresholds, sizing=sizing)
+@settings(max_examples=25, deadline=None)
+def test_static_verification_holds_for_random_valid_thresholds(
+        thresholds, sizing):
+    th_min, th_max = thresholds
+    n_total, n_min, initial = sizing
+    model = PerformanceModel(th_min, th_max, n_total, n_min=n_min,
+                             initial_cores=initial)
+    report = verify_performance_model(model, grid=41)
+    assert report.ok, report.render()

@@ -1,0 +1,117 @@
+"""Numeric net structure: matrices, dead transitions, markability."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PerformanceModel
+from repro.core.petrinet import Arc, OutputArc, PetriNet, Transition
+from repro.verify.structure import (NetStructure, check_structure,
+                                    markable_places)
+
+PLACES = ("Checks", "Idle", "Stable", "Overload", "Provision")
+TRANSITIONS = ("t0", "t1", "t2", "t4", "t7", "t5", "t6", "t3")
+
+
+@pytest.fixture
+def structure() -> NetStructure:
+    return NetStructure.from_net(PerformanceModel(10, 70, 16).net)
+
+
+def test_orders_follow_the_net(structure):
+    assert structure.places == PLACES
+    assert structure.transitions == TRANSITIONS
+
+
+def test_pre_matrix_counts_input_arcs(structure):
+    # hand-transcribed from the paper's Fig 8-11 arcs
+    expected = {
+        ("Checks", "t0"): 1, ("Provision", "t0"): 1,
+        ("Checks", "t1"): 1, ("Provision", "t1"): 1,
+        ("Checks", "t2"): 1,
+        ("Idle", "t4"): 1, ("Idle", "t7"): 1,
+        ("Overload", "t5"): 1, ("Overload", "t6"): 1,
+        ("Stable", "t3"): 1,
+    }
+    for i, place in enumerate(PLACES):
+        for j, transition in enumerate(TRANSITIONS):
+            assert structure.pre[i, j] == expected.get(
+                (place, transition), 0), (place, transition)
+
+
+def test_post_matrix_counts_output_arcs(structure):
+    expected = {
+        ("Idle", "t0"): 1, ("Overload", "t1"): 1, ("Stable", "t2"): 1,
+        ("Provision", "t4"): 1, ("Checks", "t4"): 1,
+        ("Provision", "t7"): 1, ("Checks", "t7"): 1,
+        ("Provision", "t5"): 1, ("Checks", "t5"): 1,
+        ("Provision", "t6"): 1, ("Checks", "t6"): 1,
+        ("Checks", "t3"): 1,
+    }
+    for i, place in enumerate(PLACES):
+        for j, transition in enumerate(TRANSITIONS):
+            assert structure.post[i, j] == expected.get(
+                (place, transition), 0), (place, transition)
+
+
+def test_incidence_is_post_minus_pre(structure):
+    assert (structure.incidence
+            == structure.post - structure.pre).all()
+    # every column moves a bounded number of tokens
+    assert np.abs(structure.incidence).max() == 1
+
+
+def test_numeric_matches_symbolic_incidence(structure):
+    model = PerformanceModel(10, 70, 16)
+    pre_symbolic, post_symbolic, _ = model.net.incidence()
+    for i, place in enumerate(PLACES):
+        for j, transition in enumerate(TRANSITIONS):
+            assert (structure.pre[i, j] > 0) == (
+                pre_symbolic[(place, transition)] != 0)
+            assert (structure.post[i, j] > 0) == (
+                post_symbolic[(place, transition)] != 0)
+
+
+def test_shipped_model_is_structurally_clean(structure):
+    assert check_structure(structure, {"Checks", "Provision"}) == []
+
+
+def test_all_places_markable_from_entry(structure):
+    assert markable_places(structure, {"Checks", "Provision"}) \
+        == set(PLACES)
+
+
+def _net_with_dead_branch() -> PetriNet:
+    net = PetriNet()
+    for place in ("Checks", "Stable", "Limbo"):
+        net.add_place(place)
+    net.add_transition(Transition(
+        "enter", inputs=[Arc("Checks", ("u",), "u")],
+        outputs=[OutputArc("Stable", lambda b: (b["u"],), "u")]))
+    net.add_transition(Transition(
+        "back", inputs=[Arc("Stable", ("u",), "u")],
+        outputs=[OutputArc("Checks", lambda b: (b["u"],), "u")]))
+    # Limbo has no producer: 'escape' can never fire
+    net.add_transition(Transition(
+        "escape", inputs=[Arc("Limbo", ("u",), "u")],
+        outputs=[OutputArc("Checks", lambda b: (b["u"],), "u")]))
+    return net
+
+
+def test_dead_transition_is_reported():
+    structure = NetStructure.from_net(_net_with_dead_branch())
+    findings = check_structure(structure, {"Checks"})
+    dead = [f for f in findings if "structurally dead" in f.message]
+    assert len(dead) == 1 and dead[0].location == "escape"
+    unmarkable = [f for f in findings if f.location == "Limbo"]
+    assert unmarkable and unmarkable[0].severity == "warning"
+
+
+def test_source_and_sink_transitions_are_reported():
+    net = PetriNet()
+    net.add_place("Checks")
+    net.add_transition(Transition(
+        "sink", inputs=[Arc("Checks", ("u",), "u")], outputs=[]))
+    structure = NetStructure.from_net(net)
+    findings = check_structure(structure, {"Checks"})
+    assert any("destroys a token" in f.message and f.location == "sink"
+               for f in findings)
