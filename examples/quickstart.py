@@ -8,8 +8,14 @@ MonetDB-like engine over a synthetic TPC-H database — and runs the same
 which hands cores to the OS one at a time based on the PetriNet
 performance model and the data's NUMA placement.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--telemetry DIR]
+
+With ``--telemetry DIR`` the run records runtime telemetry and exports
+it to DIR — open ``DIR/trace.json`` in Perfetto, or inspect it with
+``python -m repro stats DIR`` / ``python -m repro explain DIR``.
 """
+
+import argparse
 
 from repro import build_system, repeat_stream
 from repro.analysis.report import render_table
@@ -40,8 +46,23 @@ def run_one(mode: str | None) -> dict:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record telemetry and export it to DIR")
+    args = parser.parse_args()
     print(__doc__)
-    rows = [run_one(None), run_one("adaptive")]
+    if args.telemetry is not None:
+        from repro.obs import Recorder, export_run, install, uninstall
+
+        recorder = install(Recorder())
+        try:
+            rows = [run_one(None), run_one("adaptive")]
+        finally:
+            uninstall()
+        for path in export_run(recorder, args.telemetry).values():
+            print(f"telemetry: {path}")
+    else:
+        rows = [run_one(None), run_one("adaptive")]
     headers = list(rows[0])
     print(render_table(headers, [[r[h] for h in headers] for r in rows],
                        title=f"Q6, {N_CLIENTS} concurrent clients"))

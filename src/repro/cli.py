@@ -5,10 +5,17 @@ Usage::
     python -m repro list
     python -m repro run fig13 --users 4,16 --repetitions 2
     python -m repro run fig19 --engine sqlserver --n-clients 16
+    python -m repro run fig7 --telemetry out/fig7
+    python -m repro stats out/fig7
+    python -m repro explain out/fig7 --action-only
     python -m repro compare --workload q6 --clients 16
     python -m repro verify --json
 
-``run`` executes one figure/extension harness and prints its table;
+``run`` executes one figure/extension harness and prints its table; with
+``--telemetry DIR`` it records metrics, spans and decision provenance
+and exports them to ``DIR``.  ``stats`` summarises a recorded metrics
+snapshot; ``explain`` replays the decision-provenance log — the full
+causal chain (sample -> guard -> action) behind every mask change.
 ``compare`` is a quick four-way mode comparison on one query; ``verify``
 runs the static model checks and the determinism lint (exit 0 clean,
 1 on findings) — the CI gate.
@@ -94,9 +101,38 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--telemetry", metavar="DIR", default=None,
+                     help="record telemetry and export it to DIR "
+                          "(metrics.prom, metrics.jsonl, trace.json, "
+                          "decisions.jsonl)")
     for option in _OPTION_SPECS:
         run.add_argument(f"--{option.replace('_', '-')}", dest=option,
                          default=None)
+
+    stats = sub.add_parser(
+        "stats", help="summarise a recorded telemetry directory")
+    stats.add_argument("path",
+                       help="telemetry directory (or a metrics.jsonl "
+                            "file) written by run --telemetry")
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay the decision provenance of a recorded run")
+    explain.add_argument("path",
+                         help="telemetry directory (or a "
+                              "decisions.jsonl file) written by "
+                              "run --telemetry")
+    explain.add_argument("--tick", type=int, default=None,
+                         help="explain one controller tick only")
+    explain.add_argument("--state", default=None,
+                         choices=("Idle", "Stable", "Overload"),
+                         help="only decisions in this performance state")
+    explain.add_argument("--action-only", action="store_true",
+                         help="only decisions that changed the mask")
+    explain.add_argument("--limit", type=int, default=None,
+                         help="show at most N decisions (from the end)")
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable records on stdout")
 
     compare = sub.add_parser(
         "compare", help="quick four-way mode comparison on one query")
@@ -151,8 +187,65 @@ def _run_experiment(args: argparse.Namespace) -> str:
                 f"{args.experiment} does not accept --"
                 f"{option.replace('_', '-')}")
         kwargs[kwarg] = parse(raw)
-    result = runner(**kwargs)
-    return result.table()
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None:
+        return runner(**kwargs).table()
+    from .obs import Recorder, export_run, install, uninstall
+
+    recorder = Recorder()
+    install(recorder)
+    try:
+        result = runner(**kwargs)
+    finally:
+        uninstall()
+    paths = export_run(recorder, telemetry)
+    exported = "\n".join(f"  {p}" for p in paths.values())
+    return f"{result.table()}\n\ntelemetry written to:\n{exported}"
+
+
+def _run_stats(args: argparse.Namespace) -> str:
+    from .obs import METRICS_JSONL, load_metrics_jsonl, stats_table
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / METRICS_JSONL
+    if not path.exists():
+        raise ReproError(f"no metrics snapshot at {path}")
+    return stats_table(load_metrics_jsonl(path), title=str(path))
+
+
+def _run_explain(args: argparse.Namespace) -> str:
+    from .obs import DECISIONS_JSONL, explain_decision, load_decisions
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / DECISIONS_JSONL
+    if not path.exists():
+        raise ReproError(f"no decision log at {path}")
+    decisions = load_decisions(path)
+    if args.tick is not None:
+        decisions = [d for d in decisions if d.tick == args.tick]
+        if not decisions:
+            raise ReproError(f"no decision recorded for tick {args.tick}")
+    if args.state is not None:
+        decisions = [d for d in decisions if d.state == args.state]
+    if args.action_only:
+        decisions = [d for d in decisions if d.action is not None]
+    total = len(decisions)
+    if args.limit is not None:
+        decisions = decisions[-args.limit:]
+    if args.json:
+        import dataclasses
+        import json
+        return "\n".join(json.dumps(dataclasses.asdict(d))
+                         for d in decisions)
+    if not decisions:
+        return "(no matching decisions)"
+    blocks = [explain_decision(d) for d in decisions]
+    if total > len(decisions):
+        blocks.insert(0, f"... {total - len(decisions)} earlier "
+                         f"decisions elided (--limit)")
+    return "\n\n".join(blocks)
 
 
 def _run_compare(args: argparse.Namespace) -> str:
@@ -276,6 +369,10 @@ def main(argv: list[str] | None = None) -> int:
             print(render_table(["experiment", "description"], rows))
         elif args.command == "run":
             print(_run_experiment(args))
+        elif args.command == "stats":
+            print(_run_stats(args))
+        elif args.command == "explain":
+            print(_run_explain(args))
         elif args.command == "verify":
             return _run_verify(args)
         else:

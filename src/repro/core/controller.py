@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from ..config import ControllerConfig, preflight_defects
 from ..errors import AllocationError, ModelConfigurationError
+from ..obs.metrics import VALUE_BUCKETS
+from ..obs.provenance import Decision
 from ..opsys.system import OperatingSystem
 from ..sim.tracing import ControllerTick, CoreAllocation, TransitionRecord
 from .lonc import LoncTracker
@@ -69,6 +71,19 @@ class ElasticController:
         self._started = False
         self._stopped = False
         self._tick_scheduled = False
+        # telemetry: instruments bound once; all no-ops when the
+        # system's recorder is the null one
+        self.obs = os.obs
+        metrics = self.obs.metrics
+        self._c_ticks = metrics.counter("controller.ticks")
+        self._c_allocations = metrics.counter("controller.allocations")
+        self._c_releases = metrics.counter("controller.releases")
+        self._g_cores = metrics.gauge("controller.cores_allocated")
+        self._h_metric = metrics.histogram("controller.metric",
+                                           VALUE_BUCKETS)
+        self._c_fired = {
+            name: metrics.counter(f"petrinet.fired.{name}")
+            for name in ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7")}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -99,6 +114,7 @@ class ElasticController:
         self.os.cpuset.set_mask(initial)
         for core in initial:
             self._trace_mask_change(core, allocated=True)
+        self._g_cores.set(self.n_allocated)
         self.monitor.prime()
         self._schedule_tick()
 
@@ -137,21 +153,74 @@ class ElasticController:
             self._schedule_tick()
 
     def run_pipeline_once(self) -> TransitionChain:
-        """One full rule-condition-action pass (public for tests/benches)."""
-        sample = self.monitor.sample()
-        metric = self.strategy.metric(sample)
-        self._refresh_priority()
-        chain = self.model.run_cycle(metric)
-        self.lonc.record(metric, self.n_allocated)
-        if chain.action == "allocate":
-            self._allocate_one()
-        elif chain.action == "release":
-            self._release_one()
+        """One full rule-condition-action pass (public for tests/benches).
+
+        The four pipeline stages are wrapped in host-clock spans
+        (``controller.sample`` -> ``evaluate`` -> ``fire`` -> ``apply``)
+        and each pass leaves a :class:`~repro.obs.provenance.Decision`
+        in the recorder — the record ``repro explain`` renders.
+        """
+        spans = self.obs.spans
+        with spans.span("controller.tick"):
+            with spans.span("controller.sample"):
+                sample = self.monitor.sample()
+            with spans.span("controller.evaluate"):
+                metric = self.strategy.metric(sample)
+                self._refresh_priority()
+            with spans.span("controller.fire"):
+                chain = self.model.run_cycle(metric)
+            self.lonc.record(metric, self.n_allocated)
+            cores_before = self.n_allocated
+            with spans.span("controller.apply"):
+                core: int | None = None
+                if chain.action == "allocate":
+                    core = self._allocate_one()
+                    self._c_allocations.inc()
+                elif chain.action == "release":
+                    core = self._release_one()
+                    self._c_releases.inc()
+        self._c_ticks.inc()
+        self._h_metric.observe(metric)
+        self._g_cores.set(self.n_allocated)
+        self._c_fired[chain.entry].inc()
+        self._c_fired[chain.exit].inc()
+        if self.obs.enabled:
+            self._record_decision(sample, chain, core, cores_before)
         self.ticks += 1
         self.os.tracer.emit(TransitionRecord(
             time=self.os.now, label=chain.label, state=chain.state,
             value=metric, cores_after=self.n_allocated))
         return chain
+
+    def _record_decision(self, sample, chain: TransitionChain,
+                         core: int | None, cores_before: int) -> None:
+        """Capture the full causal chain of one pass (enabled path only)."""
+        priorities = None
+        if isinstance(self.mode, AdaptivePriorityMode):
+            priorities = tuple(self.mode.queue.counts())
+        node = (self.os.topology.node_of_core(core)
+                if core is not None else None)
+        self.obs.decisions.record(Decision(
+            time=self.os.now, tick=self.ticks,
+            strategy=self.strategy.name, metric=chain.metric,
+            th_min=self.strategy.th_min, th_max=self.strategy.th_max,
+            state=chain.state, entry=chain.entry,
+            entry_guard=self.model.guard_text(chain.entry),
+            exit=chain.exit,
+            exit_guard=self.model.guard_text(chain.exit)
+            or "none (always enabled)",
+            action=chain.action, mode=self.mode.name, core=core,
+            node=node, cores_before=cores_before,
+            cores_after=self.n_allocated,
+            sample={
+                "cpu_load": sample.cpu_load,
+                "ht_bytes": sample.ht_bytes,
+                "imc_bytes": sample.imc_bytes,
+                "ht_imc_ratio": sample.ht_imc_ratio,
+                "runnable_threads": float(sample.runnable_threads),
+                "window": sample.window,
+            },
+            priorities=priorities))
 
     # ------------------------------------------------------------------
     # actions
@@ -163,19 +232,21 @@ class ElasticController:
                 self.os.scheduler.threads,
                 fallback=self.os.machine.memory.placement_histogram())
 
-    def _allocate_one(self) -> None:
+    def _allocate_one(self) -> int:
         allocated = self.os.cpuset.allowed()
         core = self.mode.next_allocation(allocated)
         self.os.cpuset.allow(core)
         self._sync_model()
         self._trace_mask_change(core, allocated=True)
+        return core
 
-    def _release_one(self) -> None:
+    def _release_one(self) -> int:
         allocated = self.os.cpuset.allowed()
         core = self.mode.next_release(allocated)
         self.os.cpuset.disallow(core)
         self._sync_model()
         self._trace_mask_change(core, allocated=False)
+        return core
 
     def _sync_model(self) -> None:
         # the PrT net's Provision token and the cpuset must agree

@@ -160,6 +160,14 @@ class PerformanceModel:
             raise PetriNetError("Provision lost its token")
         return int(token[0])
 
+    def guard_text(self, name: str) -> str:
+        """The guard formula of transition ``name`` (``"u >= 70.0"``...),
+        as instantiated with this model's thresholds and bounds.  Empty
+        for the unguarded ``t3``.  Decision provenance records carry
+        these so ``repro explain`` can show the exact condition that
+        held."""
+        return self.net.transition(name).guard_text
+
     def state_of(self, metric: float) -> str:
         """Which performance state a metric value classifies into."""
         if metric <= self.th_min:

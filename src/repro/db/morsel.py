@@ -43,10 +43,26 @@ class MorselQueryExecution(QueryExecution):
     #: locality and taking the head (bounds dispatch cost)
     SCAN_DEPTH = 16
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # dispatch is the hot path: bind the instruments once
+        from ..obs.metrics import TIME_BUCKETS
+        metrics = self.os.obs.metrics
+        self._c_dispatches = metrics.counter("db.morsel.dispatches")
+        self._c_local = metrics.counter("db.morsel.local_dispatches")
+        self._h_exec = metrics.histogram("db.morsel.exec_seconds",
+                                         TIME_BUCKETS)
+
+    def _item_done(self, item: WorkItem) -> None:
+        if item.started_at is not None:
+            self._h_exec.observe(self.os.now - item.started_at)
+        super()._item_done(item)
+
     def next_item(self, thread: SimThread) -> WorkItem | None:
         pending = self._pending
         if not pending:
             return None
+        self._c_dispatches.inc()
         core = thread.core
         if core is None:
             return pending.popleft()
@@ -58,6 +74,7 @@ class MorselQueryExecution(QueryExecution):
             reads = item.reads
             if reads and memory.home(reads[0]) == node:
                 del pending[index]
+                self._c_local.inc()
                 return item
         return pending.popleft()
 

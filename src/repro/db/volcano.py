@@ -129,10 +129,21 @@ class QueryExecution:
     def _finish(self) -> None:
         self._finished = True
         self.finish_time = self.os.now
+        elapsed = self.finish_time - self.start_time
         self.os.tracer.emit(QueryRecord(
             time=self.finish_time, client_id=self.client_id,
             query_name=self.query_name, start_time=self.start_time,
-            elapsed=self.finish_time - self.start_time))
+            elapsed=elapsed))
+        obs = self.os.obs
+        obs.metrics.counter("db.queries").inc()
+        obs.metrics.histogram("db.query_seconds").observe(elapsed)
+        if obs.enabled:
+            obs.spans.add_complete(
+                f"query:{self.query_name}", start=self.start_time,
+                duration=elapsed, track="sim",
+                tid=1000 + self.client_id,
+                args={"client": self.client_id,
+                      "workers": len(self._workers)})
         self._wake_waiters()
         if self.on_done is not None:
             self.on_done(self)

@@ -141,7 +141,8 @@ def build_system(engine: str = "monetdb",
                  engine_config: EngineConfig | None = None,
                  cost_model: CostModel | None = None,
                  record_placements: bool = False,
-                 keepalive: bool = False) -> SystemUnderTest:
+                 keepalive: bool = False,
+                 obs=None) -> SystemUnderTest:
     """Assemble a complete system under test.
 
     Parameters
@@ -162,13 +163,16 @@ def build_system(engine: str = "monetdb",
     record_placements:
         Placement records are high-volume; only trace experiments ask for
         them.
+    obs:
+        A :class:`~repro.obs.Recorder` for telemetry; defaults to the
+        process-wide recorder (the null one unless installed).
     """
     reset_thread_ids()
     tracer = TraceRecorder()
     if not record_placements:
         tracer.mute(PlacementRecord)
     os_ = OperatingSystem(machine or opteron_8387(), scheduler,
-                          tracer=tracer)
+                          tracer=tracer, obs=obs)
     dataset = dataset_for(scale, sim_scale, seed)
     catalog = dataset.catalog()
 

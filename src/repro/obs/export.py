@@ -1,0 +1,176 @@
+"""Telemetry exporters: Prometheus text, JSONL, Chrome trace, stats table.
+
+One recorded run leaves the process in four shapes:
+
+* ``metrics.prom`` — Prometheus text exposition format (scrapeable /
+  diffable snapshots);
+* ``metrics.jsonl`` — one JSON object per instrument, for programmatic
+  post-processing;
+* ``trace.json`` — Chrome ``trace_event`` JSON; load it in Perfetto or
+  ``chrome://tracing`` to see controller pipeline stages (host clock)
+  and query/stage execution (simulated clock) on separate tracks;
+* ``decisions.jsonl`` — the decision-provenance log ``repro explain``
+  reads back.
+
+:func:`export_run` writes all four; ``repro run --telemetry DIR`` is its
+CLI face.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..analysis.report import render_table
+from ..errors import ReproError
+from .metrics import Counter, Gauge, Histogram
+from .provenance import dump_decisions
+from .spans import chrome_trace_events
+
+#: canonical file names inside a telemetry directory
+METRICS_PROM = "metrics.prom"
+METRICS_JSONL = "metrics.jsonl"
+TRACE_JSON = "trace.json"
+DECISIONS_JSONL = "decisions.jsonl"
+
+
+def prometheus_name(name: str) -> str:
+    """``controller.ticks`` -> ``repro_controller_ticks``."""
+    return "repro_" + name.replace(".", "_")
+
+
+def render_prometheus(metrics) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for instrument in metrics.all():
+        pname = prometheus_name(instrument.name)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {instrument.value:g}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {instrument.value:g}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for edge, count in zip(instrument.boundaries,
+                                   instrument.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f'{pname}_bucket{{le="{edge:g}"}} {cumulative}')
+            lines.append(
+                f'{pname}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{pname}_sum {instrument.total:g}")
+            lines.append(f"{pname}_count {instrument.count}")
+        else:
+            raise ReproError(
+                f"cannot render instrument {instrument!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_metrics_jsonl(metrics, path) -> int:
+    """One JSON object per instrument; returns the count."""
+    path = pathlib.Path(path)
+    snapshot = metrics.snapshot()
+    with path.open("w", encoding="utf-8") as handle:
+        for entry in snapshot:
+            handle.write(json.dumps(entry) + "\n")
+    return len(snapshot)
+
+
+def load_metrics_jsonl(path) -> list[dict]:
+    """Read a metrics JSONL snapshot back (plain dicts)."""
+    path = pathlib.Path(path)
+    entries = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_no}: invalid JSON") from exc
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise ReproError(
+                    f"{path}:{line_no}: not a metric snapshot entry")
+            entries.append(entry)
+    return entries
+
+
+def dump_chrome_trace(spans, path) -> int:
+    """Write spans as a Chrome ``trace_event`` JSON file.
+
+    The JSON-object form (``{"traceEvents": [...]}``) is used so the
+    file is self-describing and extensible; both Perfetto and
+    ``chrome://tracing`` accept it.  Returns the event count.
+    """
+    path = pathlib.Path(path)
+    events = chrome_trace_events(
+        spans.all() if hasattr(spans, "all") else spans)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tracks": {"pid 1": "host clock (pipeline cost)",
+                       "pid 2": "simulated clock (queries, stages)"},
+        },
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(events)
+
+
+def export_run(recorder, directory) -> dict[str, pathlib.Path]:
+    """Write every export format for one recorded run.
+
+    Returns ``{"prometheus": ..., "metrics": ..., "trace": ...,
+    "decisions": ...}`` paths.  The directory is created if needed.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "prometheus": directory / METRICS_PROM,
+        "metrics": directory / METRICS_JSONL,
+        "trace": directory / TRACE_JSON,
+        "decisions": directory / DECISIONS_JSONL,
+    }
+    paths["prometheus"].write_text(render_prometheus(recorder.metrics),
+                                   encoding="utf-8")
+    dump_metrics_jsonl(recorder.metrics, paths["metrics"])
+    dump_chrome_trace(recorder.spans, paths["trace"])
+    dump_decisions(recorder.decisions.all(), paths["decisions"])
+    return paths
+
+
+# ----------------------------------------------------------------------
+# the `repro stats` table
+# ----------------------------------------------------------------------
+
+def _stats_rows(entries) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for entry in entries:
+        kind = entry["kind"]
+        if kind in ("counter", "gauge"):
+            rows.append([entry["name"], kind, entry["value"], "", ""])
+        else:
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            spread = (f"{entry['min']:.3g}..{entry['max']:.3g}"
+                      if count else "-")
+            rows.append([entry["name"], kind, count, mean, spread])
+    return rows
+
+
+def stats_table(metrics_or_entries, title: str = "telemetry") -> str:
+    """Summary table over a registry or a loaded JSONL snapshot."""
+    if hasattr(metrics_or_entries, "snapshot"):
+        entries = metrics_or_entries.snapshot()
+    else:
+        entries = list(metrics_or_entries)
+    if not entries:
+        return "(no metrics recorded)"
+    return render_table(
+        ["metric", "kind", "value/count", "mean", "min..max"],
+        _stats_rows(entries), title=title)

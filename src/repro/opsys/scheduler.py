@@ -23,6 +23,8 @@ from collections import deque
 from ..config import SchedulerConfig
 from ..errors import SchedulerError
 from ..hardware.machine import Machine
+from ..obs.metrics import TIME_BUCKETS
+from ..obs.recorder import NULL_RECORDER
 from ..sim.engine import Simulator
 from ..sim.tracing import (MigrationRecord, PlacementRecord, StageRecord,
                            TraceRecorder)
@@ -51,13 +53,27 @@ class Scheduler:
 
     def __init__(self, sim: Simulator, machine: Machine, vm: VirtualMemory,
                  cpuset: CpuSet, config: SchedulerConfig | None = None,
-                 tracer: TraceRecorder | None = None):
+                 tracer: TraceRecorder | None = None, obs=None):
         self.sim = sim
         self.machine = machine
         self.vm = vm
         self.cpuset = cpuset
         self.config = config or SchedulerConfig()
         self.tracer = tracer if tracer is not None else TraceRecorder()
+        # telemetry instruments are bound once; against a NullRecorder
+        # every call below is a shared no-op (the hot-path contract
+        # asserted by benchmarks/test_obs_overhead.py)
+        self.obs = obs if obs is not None else NULL_RECORDER
+        metrics = self.obs.metrics
+        self._c_dispatches = metrics.counter("scheduler.dispatches")
+        self._c_migrations = metrics.counter("scheduler.migrations")
+        self._c_steals = metrics.counter("scheduler.steals")
+        self._c_evictions = metrics.counter("scheduler.evictions")
+        self._c_wakeups = metrics.counter("scheduler.wakeups")
+        self._h_chunk = metrics.histogram("scheduler.chunk_seconds",
+                                          TIME_BUCKETS)
+        self._h_stage = metrics.histogram("db.stage_seconds",
+                                          TIME_BUCKETS)
         n_cores = machine.topology.n_cores
         if cpuset.n_cores != n_cores:
             raise SchedulerError("cpuset size does not match the machine")
@@ -99,6 +115,7 @@ class Scheduler:
         if thread.state is not ThreadState.BLOCKED:
             return
         thread.state = ThreadState.READY
+        self._c_wakeups.inc()
         core = self._choose_core(thread)
         prev = thread.core
         if prev is not None and prev != core:
@@ -225,6 +242,7 @@ class Scheduler:
         thread.core = core
         thread.dispatches += 1
         self._running[core] = thread
+        self._c_dispatches.inc()
         self.machine.counters.increment("tasks", core)
         if self._last_ran[core] is not thread:
             self._last_ran[core] = thread
@@ -316,6 +334,7 @@ class Scheduler:
                     elapsed: float, useful: float) -> None:
         self.machine.account_busy(core, elapsed)
         self.machine.counters.add("useful_time", core, useful)
+        self._h_chunk.observe(elapsed)
         if item.query_name:
             self.machine.counters.add("query_busy_time", item.query_name,
                                       elapsed)
@@ -323,11 +342,19 @@ class Scheduler:
         if item.done:
             thread.current_item = None
             if item.started_at is not None:
+                stage_elapsed = self.sim.now - item.started_at
                 self.tracer.emit(StageRecord(
                     time=self.sim.now, thread_id=thread.tid,
                     query_name=item.query_name, operator=item.label,
                     start_time=item.started_at,
-                    elapsed=self.sim.now - item.started_at, core_id=core))
+                    elapsed=stage_elapsed, core_id=core))
+                self._h_stage.observe(stage_elapsed)
+                if self.obs.enabled:
+                    self.obs.spans.add_complete(
+                        f"stage:{item.label}", start=item.started_at,
+                        duration=stage_elapsed, track="sim",
+                        tid=thread.tid,
+                        args={"query": item.query_name, "core": core})
             if item.on_complete is not None:
                 item.on_complete(item)
         thread.state = ThreadState.READY
@@ -447,6 +474,7 @@ class Scheduler:
         for core in removed:
             queue = self._queues[core]
             evicted = [t for t in queue if t.managed]
+            self._c_evictions.inc(len(evicted))
             for thread in evicted:
                 queue.remove(thread)
             for thread in evicted:
@@ -467,6 +495,9 @@ class Scheduler:
                         stolen: bool) -> None:
         thread.migrations += 1
         thread.pending_stall += self.config.migration_cost
+        self._c_migrations.inc()
+        if stolen:
+            self._c_steals.inc()
         self.machine.counters.increment("migrations", dst)
         self.tracer.emit(MigrationRecord(
             time=self.sim.now, thread_id=thread.tid, src_core=src,

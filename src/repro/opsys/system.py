@@ -12,6 +12,7 @@ from collections.abc import Iterable
 
 from ..config import MachineConfig, SchedulerConfig
 from ..hardware.machine import Machine
+from ..obs.recorder import current_recorder
 from ..sim.engine import Simulator
 from ..sim.tracing import TraceRecorder
 from .cpuset import CpuSet
@@ -28,18 +29,35 @@ class OperatingSystem:
                  scheduler_config: SchedulerConfig | None = None,
                  initial_mask: Iterable[int] | None = None,
                  tracer: TraceRecorder | None = None,
-                 sim: Simulator | None = None):
+                 sim: Simulator | None = None,
+                 obs=None):
         self.sim = sim if sim is not None else Simulator()
         self.machine = Machine(machine_config or MachineConfig())
         self.tracer = tracer if tracer is not None else TraceRecorder()
+        #: telemetry recorder shared by every layer of this system;
+        #: defaults to the installed one (or the null fast path)
+        self.obs = obs if obs is not None else current_recorder()
         self.cpuset = CpuSet(self.machine.topology.n_cores, initial_mask)
         sched_cfg = scheduler_config or SchedulerConfig()
         self.vm = VirtualMemory(
             self.machine, numa_balancing=sched_cfg.numa_balancing,
             migration_streak=sched_cfg.numa_migration_streak)
         self.scheduler = Scheduler(self.sim, self.machine, self.vm,
-                                   self.cpuset, sched_cfg, self.tracer)
+                                   self.cpuset, sched_cfg, self.tracer,
+                                   obs=self.obs)
         self.load_sampler = LoadSampler(self.machine, self.cpuset)
+        metrics = self.obs.metrics
+        self._c_sim_events = metrics.counter("sim.events")
+        self._c_cores_added = metrics.counter("cpuset.cores_added")
+        self._c_cores_removed = metrics.counter("cpuset.cores_removed")
+        self._g_allowed = metrics.gauge("cpuset.allowed_cores")
+        self._g_allowed.set(len(self.cpuset))
+        self.cpuset.subscribe(self._obs_mask_change)
+
+    def _obs_mask_change(self, added: set[int], removed: set[int]) -> None:
+        self._c_cores_added.inc(len(added))
+        self._c_cores_removed.inc(len(removed))
+        self._g_allowed.set(len(self.cpuset))
 
     @property
     def now(self) -> float:
@@ -74,8 +92,12 @@ class OperatingSystem:
 
     def run(self, until: float | None = None) -> int:
         """Drive the simulation; see :meth:`repro.sim.Simulator.run`."""
-        return self.sim.run(until=until)
+        delivered = self.sim.run(until=until)
+        self._c_sim_events.inc(delivered)
+        return delivered
 
     def run_until_idle(self) -> int:
         """Drive the simulation until no events remain."""
-        return self.sim.run_until_idle()
+        delivered = self.sim.run_until_idle()
+        self._c_sim_events.inc(delivered)
+        return delivered

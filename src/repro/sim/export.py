@@ -20,13 +20,14 @@ import pathlib
 from ..errors import ReproError
 from . import tracing
 
-#: every exportable record type, by class name
+#: every exportable record type, by class name — derived from
+#: :mod:`repro.sim.tracing` by introspection so a record type added
+#: there cannot be silently dropped on export
 RECORD_TYPES = {
     cls.__name__: cls
-    for cls in (tracing.PlacementRecord, tracing.MigrationRecord,
-                tracing.TransitionRecord, tracing.CoreAllocation,
-                tracing.ControllerTick, tracing.QueryRecord,
-                tracing.StageRecord)
+    for cls in vars(tracing).values()
+    if isinstance(cls, type) and dataclasses.is_dataclass(cls)
+    and cls.__module__ == tracing.__name__
 }
 
 

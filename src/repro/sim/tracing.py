@@ -7,7 +7,8 @@ per-socket memory throughput over time (Fig 18).  Every layer therefore
 reports what it does to a shared :class:`TraceRecorder`; the experiment
 harness filters the record stream afterwards.
 
-Records are small frozen dataclasses.  They are intentionally denormalised
+Records are small frozen dataclasses (``slots=True``: traces are
+high-volume).  They are intentionally denormalised
 (they repeat ids rather than hold object references) so a trace can outlive
 the simulation objects and be compared across runs.
 """
@@ -19,7 +20,7 @@ from dataclasses import dataclass
 from typing import TypeVar
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlacementRecord:
     """A thread started running on a core (scheduling dispatch)."""
 
@@ -29,7 +30,7 @@ class PlacementRecord:
     node_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigrationRecord:
     """A thread moved between cores; ``stolen`` marks load-balancer steals."""
 
@@ -40,7 +41,7 @@ class MigrationRecord:
     stolen: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransitionRecord:
     """A PrT transition (or chain) fired, e.g. ``t1-Overload-t5``."""
 
@@ -51,7 +52,7 @@ class TransitionRecord:
     cores_after: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreAllocation:
     """The cpuset mask changed; ``core_id`` was added or removed."""
 
@@ -62,7 +63,7 @@ class CoreAllocation:
     n_allocated: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControllerTick:
     """One pass of the rule-condition-action pipeline."""
 
@@ -72,7 +73,7 @@ class ControllerTick:
     n_allocated: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryRecord:
     """A query finished; the basic throughput/latency unit."""
 
@@ -83,7 +84,7 @@ class QueryRecord:
     elapsed: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageRecord:
     """One worker finished one plan-stage partition (Tomograph rows)."""
 

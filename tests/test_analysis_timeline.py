@@ -72,3 +72,49 @@ def test_bucketise_rejects_empty_span():
     from repro.analysis.timeline import _bucketise
     with pytest.raises(ReproError):
         _bucketise([], 1.0, 1.0, 10)
+
+
+def test_bucketise_rejects_inverted_span():
+    from repro.analysis.timeline import _bucketise
+    with pytest.raises(ReproError):
+        _bucketise([], 2.0, 1.0, 10)
+
+
+def test_bucketise_empty_placement_stream():
+    from repro.analysis.timeline import _bucketise
+    assert _bucketise([], 0.0, 1.0, 5) == [None] * 5
+
+
+def test_bucketise_single_bucket_width():
+    from repro.analysis.timeline import _bucketise
+    cells = _bucketise([(0.1, 3), (0.9, 7)], 0.0, 1.0, 1)
+    # one column: the latest placement inside the span wins
+    assert cells == [7]
+
+
+def test_bucketise_placement_before_t_start_carries_forward():
+    from repro.analysis.timeline import _bucketise
+    # a thread placed before the window opened is still *somewhere*
+    # during it: the stale placement must fill every bucket, not None
+    cells = _bucketise([(-0.5, 2)], 0.0, 1.0, 4)
+    assert cells == [2, 2, 2, 2]
+
+
+def test_bucketise_carry_forward_after_last_event():
+    from repro.analysis.timeline import _bucketise
+    cells = _bucketise([(0.0, 1)], 0.0, 1.0, 4)
+    assert cells == [1, 1, 1, 1]
+
+
+def test_node_map_single_instant_pads_span():
+    # all placements at one instant: the degenerate span must not raise
+    text = render_node_map([timeline(1, [(0.25, 0, 3)])], width=6)
+    row = text.splitlines()[1].split(None, 1)[1]
+    assert "3" in row
+
+
+def test_staircase_subsamples_to_width():
+    transitions = [(0.01 * i, "t2-Stable-t3", 40.0, 4)
+                   for i in range(200)]
+    text = render_allocation_staircase(transitions, width=50)
+    assert len(text.splitlines()) <= 100

@@ -65,6 +65,86 @@ def test_compare_command(capsys):
 
 
 # ------------------------------------------------------------------
+# telemetry: run --telemetry, stats, explain
+# ------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    """One recorded fig7 run shared by the telemetry CLI tests."""
+    out = tmp_path_factory.mktemp("telemetry") / "fig7"
+    code = main(["run", "fig7", "--telemetry", str(out),
+                 "--repetitions", "1", "--scale", "0.002",
+                 "--sim-scale", "0.05"])
+    assert code == 0
+    return out
+
+
+def test_run_telemetry_exports_all_formats(telemetry_dir):
+    for name in ("metrics.prom", "metrics.jsonl", "trace.json",
+                 "decisions.jsonl"):
+        assert (telemetry_dir / name).exists()
+    document = json.loads((telemetry_dir / "trace.json").read_text())
+    assert document["traceEvents"]
+    phases = {e["name"] for e in document["traceEvents"]}
+    assert {"controller.tick", "controller.sample",
+            "controller.evaluate", "controller.fire",
+            "controller.apply"} <= phases
+
+
+def test_run_telemetry_uninstalls_recorder(telemetry_dir):
+    from repro.obs import NULL_RECORDER, current_recorder
+    assert current_recorder() is NULL_RECORDER
+
+
+def test_stats_command(telemetry_dir, capsys):
+    assert main(["stats", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "controller.ticks" in out
+    assert "scheduler.dispatches" in out
+
+
+def test_stats_missing_path_is_an_error(tmp_path, capsys):
+    assert main(["stats", str(tmp_path)]) == 2
+    assert "no metrics snapshot" in capsys.readouterr().err
+
+
+def test_explain_renders_causal_chains(telemetry_dir, capsys):
+    assert main(["explain", str(telemetry_dir), "--action-only"]) == 0
+    out = capsys.readouterr().out
+    assert "guard:" in out
+    assert "th_max" in out or "th_min" in out
+    assert "rule" in out and "condition" in out and "action" in out
+
+
+def test_explain_tick_filter(telemetry_dir, capsys):
+    assert main(["explain", str(telemetry_dir), "--tick", "0"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("tick 0 ")
+    assert main(["explain", str(telemetry_dir), "--tick", "9999"]) == 2
+    assert "no decision" in capsys.readouterr().err
+
+
+def test_explain_limit_elides(telemetry_dir, capsys):
+    assert main(["explain", str(telemetry_dir), "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "elided" in out
+
+
+def test_explain_json_output(telemetry_dir, capsys):
+    assert main(["explain", str(telemetry_dir), "--json",
+                 "--limit", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert 1 <= len(lines) <= 2
+    record = json.loads(lines[0])
+    assert {"tick", "entry_guard", "exit_guard", "sample"} <= set(record)
+
+
+def test_explain_missing_path_is_an_error(tmp_path, capsys):
+    assert main(["explain", str(tmp_path)]) == 2
+    assert "no decision log" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------
 # the verify subcommand
 # ------------------------------------------------------------------
 

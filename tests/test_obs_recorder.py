@@ -1,0 +1,133 @@
+"""The recorder facade, the null fast path, and system wiring."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import DecisionLog
+from repro.obs.recorder import (NULL_RECORDER, NullRecorder, Recorder,
+                                current_recorder, install, recording,
+                                uninstall)
+from repro.obs.spans import SpanTracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    """Each test starts and ends with no installed recorder."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestRecorder:
+    def test_live_recorder_wiring(self):
+        rec = Recorder()
+        assert rec.enabled
+        assert isinstance(rec.metrics, MetricsRegistry)
+        assert isinstance(rec.spans, SpanTracer)
+        assert isinstance(rec.decisions, DecisionLog)
+
+    def test_host_clock_is_wired_in(self):
+        rec = Recorder()
+        with rec.spans.span("x"):
+            pass
+        (span,) = rec.spans.all()
+        assert span.duration >= 0.0
+
+    def test_clear_keeps_metrics(self):
+        rec = Recorder()
+        rec.metrics.counter("c").inc()
+        rec.spans.add_complete("s", 0.0, 1.0)
+        rec.clear()
+        assert rec.metrics.counter("c").value == 1.0
+        assert rec.spans.all() == []
+
+    def test_null_recorder_is_disabled_everywhere(self):
+        rec = NullRecorder()
+        assert not rec.enabled
+        assert not rec.metrics.enabled
+        assert not rec.spans.enabled
+        assert not rec.decisions.enabled
+        rec.clear()
+
+
+class TestInstall:
+    def test_default_is_the_null_singleton(self):
+        assert current_recorder() is NULL_RECORDER
+
+    def test_install_and_uninstall(self):
+        rec = Recorder()
+        assert install(rec) is rec
+        assert current_recorder() is rec
+        uninstall()
+        assert current_recorder() is NULL_RECORDER
+
+    def test_recording_context_manager(self):
+        with recording() as rec:
+            assert current_recorder() is rec
+        assert current_recorder() is NULL_RECORDER
+
+    def test_recording_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with recording(Recorder()):
+                raise RuntimeError("boom")
+        assert current_recorder() is NULL_RECORDER
+
+
+class TestSystemWiring:
+    def test_system_defaults_to_installed_recorder(self, small_config):
+        from repro.opsys.system import OperatingSystem
+
+        rec = install(Recorder())
+        os_ = OperatingSystem(small_config)
+        assert os_.obs is rec
+        assert os_.scheduler.obs is rec
+
+    def test_system_defaults_to_null_when_none_installed(
+            self, small_config):
+        from repro.opsys.system import OperatingSystem
+
+        os_ = OperatingSystem(small_config)
+        assert os_.obs is NULL_RECORDER
+
+    def test_explicit_obs_argument_wins(self, small_config):
+        from repro.opsys.system import OperatingSystem
+
+        install(Recorder())
+        mine = Recorder()
+        os_ = OperatingSystem(small_config, obs=mine)
+        assert os_.obs is mine
+
+    def test_sim_events_counted(self, small_config):
+        from repro.opsys.system import OperatingSystem
+
+        rec = Recorder()
+        os_ = OperatingSystem(small_config, obs=rec)
+        os_.sim.schedule(0.1, lambda: None)
+        os_.run(0.2)
+        assert rec.metrics.counter("sim.events").value >= 1
+
+    def test_cpuset_mask_telemetry(self, small_config):
+        from repro.opsys.system import OperatingSystem
+
+        rec = Recorder()
+        os_ = OperatingSystem(small_config, obs=rec)
+        n = os_.topology.n_cores
+        os_.cpuset.disallow(0)
+        os_.cpuset.allow(0)
+        metrics = rec.metrics
+        assert metrics.counter("cpuset.cores_removed").value == 1
+        assert metrics.counter("cpuset.cores_added").value == 1
+        assert metrics.gauge("cpuset.allowed_cores").value == n
+
+    def test_null_path_records_nothing_end_to_end(self, small_config):
+        """A run without an installed recorder leaves no telemetry."""
+        from repro.db.clients import repeat_stream
+        from repro.experiments.common import build_system
+
+        sut = build_system(mode="adaptive", scale=0.004,
+                           sim_scale=0.125)
+        sut.run_clients(1, repeat_stream("q6", 1))
+        assert sut.os.obs is NULL_RECORDER
+        assert len(sut.os.obs.metrics) == 0
+        assert sut.os.obs.spans.all() == []
+        assert sut.os.obs.decisions.all() == []

@@ -137,6 +137,41 @@ class TestExport:
         path.write_text(path.read_text() + "\n\n")
         assert len(load_records(path)) == 3
 
+    def test_every_tracing_dataclass_is_registered(self):
+        """A record type added to sim.tracing must be exportable —
+        RECORD_TYPES is derived by introspection, so hand-listing
+        cannot silently drop one."""
+        import dataclasses
+
+        from repro.sim import tracing
+        from repro.sim.export import RECORD_TYPES
+
+        declared = {cls.__name__ for cls in vars(tracing).values()
+                    if isinstance(cls, type)
+                    and dataclasses.is_dataclass(cls)
+                    and cls.__module__ == tracing.__name__}
+        assert declared == set(RECORD_TYPES)
+        assert len(RECORD_TYPES) >= 7
+
+    def test_new_record_type_is_picked_up_by_introspection(self):
+        import dataclasses
+        import importlib
+
+        from repro.sim import export, tracing
+
+        @dataclasses.dataclass(frozen=True, slots=True)
+        class ProbeRecord:
+            time: float
+
+        ProbeRecord.__module__ = tracing.__name__
+        tracing.ProbeRecord = ProbeRecord
+        try:
+            assert "ProbeRecord" in \
+                importlib.reload(export).RECORD_TYPES
+        finally:
+            del tracing.ProbeRecord
+            importlib.reload(export)
+
     def test_end_to_end_simulation_trace(self, tmp_path):
         """Export a real run's trace and reload it."""
         from repro.experiments.common import build_system
