@@ -33,7 +33,7 @@ from .analysis.report import render_table
 from .db.clients import repeat_stream
 from .errors import ReproError
 from .experiments import (ablations, ext_mixed_oltp, ext_morsel,
-                          ext_predicate_aware, ext_sla,
+                          ext_multi_tenant, ext_predicate_aware, ext_sla,
                           fig04_microbench, fig05_migration_os,
                           fig06_tomograph, fig07_state_transitions,
                           fig13_scheduling, fig14_memory,
@@ -62,6 +62,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "overhead": (overhead.run, "controller token-flow overhead"),
     "sla": (ext_sla.run, "extension: traffic-SLA governor"),
     "oltp": (ext_mixed_oltp.run, "extension: mixed OLAP/OLTP"),
+    "multi-tenant": (ext_multi_tenant.run,
+                     "extension: two controllers, one machine"),
     "predicate-aware": (ext_predicate_aware.run,
                         "extension: predicate-aware worker sizing"),
     "morsel": (ext_morsel.run,
@@ -114,6 +116,9 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("path",
                        help="telemetry directory (or a metrics.jsonl "
                             "file) written by run --telemetry")
+    stats.add_argument("--tenant", default=None,
+                       help="only this tenant's per-tenant instruments "
+                            "(controller.*, cpuset.*, petrinet.*)")
 
     explain = sub.add_parser(
         "explain",
@@ -124,6 +129,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "run --telemetry")
     explain.add_argument("--tick", type=int, default=None,
                          help="explain one controller tick only")
+    explain.add_argument("--tenant", default=None,
+                         help="only decisions taken by this tenant's "
+                              "controller")
     explain.add_argument("--state", default=None,
                          choices=("Idle", "Stable", "Overload"),
                          help="only decisions in this performance state")
@@ -211,7 +219,8 @@ def _run_stats(args: argparse.Namespace) -> str:
         path = path / METRICS_JSONL
     if not path.exists():
         raise ReproError(f"no metrics snapshot at {path}")
-    return stats_table(load_metrics_jsonl(path), title=str(path))
+    return stats_table(load_metrics_jsonl(path), title=str(path),
+                       tenant=args.tenant)
 
 
 def _run_explain(args: argparse.Namespace) -> str:
@@ -223,6 +232,8 @@ def _run_explain(args: argparse.Namespace) -> str:
     if not path.exists():
         raise ReproError(f"no decision log at {path}")
     decisions = load_decisions(path)
+    if args.tenant is not None:
+        decisions = [d for d in decisions if d.tenant == args.tenant]
     if args.tick is not None:
         decisions = [d for d in decisions if d.tick == args.tick]
         if not decisions:

@@ -176,27 +176,24 @@ class ControllerConfig:
     interval:
         Period of the rule-condition-action pipeline; each tick samples the
         counters and fires at most one allocate/release transition.
-    th_min / th_max:
-        The ``thmin``/``thmax`` thresholds.  For the CPU-load strategy these
-        are percentages (10/70); for the HT/IMC strategy they are ratios
-        (0.1/0.4).
     initial_cores:
         Cores exposed to the OS before the first tick (paper: 1).
     min_cores:
         Transition ``t7`` bound: never release below this.
+
+    The ``thmin``/``thmax`` thresholds are *not* configured here: they
+    live on the :class:`~repro.core.strategies.TransitionStrategy` (each
+    strategy owns its metric's domain — percentages for CPU load, ratios
+    for HT/IMC) and :func:`preflight_defects` reads them from there.
     """
 
     interval: float = msec(20)
-    th_min: float = 10.0
-    th_max: float = 70.0
     initial_cores: int = 1
     min_cores: int = 1
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
             raise ConfigError("controller interval must be positive")
-        if self.th_min >= self.th_max:
-            raise ConfigError("th_min must be below th_max")
         if self.initial_cores < 1:
             raise ConfigError("initial_cores must be >= 1")
         if self.min_cores < 1:

@@ -1,0 +1,115 @@
+"""Actuator decorators: dry-run and cooldown behaviour for stage 4.
+
+Both wrap the :class:`~repro.control.stages.Actuator` protocol, so they
+compose with the real :class:`~repro.control.stages.LeaseActuator` and
+with each other.  The controller re-syncs its PrT model to the actuator's
+view after every ``apply``, which is what makes suppression safe: a
+suppressed or simulated change never leaks into the model's ``Provision``
+marking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import AllocationError
+from ..opsys.inventory import DEFAULT_TENANT
+from .stages import NO_CHANGE, Actuator, CoreDelta
+
+if TYPE_CHECKING:
+    from ..opsys.system import OperatingSystem
+
+
+class DryRunActuator:
+    """What-if mode: accept every delta into a virtual holding set.
+
+    Nothing touches the inventory, the cpusets or the trace — the
+    machine keeps running unmanaged — but the controller's model, ticks
+    and decisions evolve exactly as if the deltas had been applied.  The
+    planned history is kept in :attr:`planned` (one entry per non-empty
+    delta) for inspection.
+    """
+
+    def __init__(self, os: "OperatingSystem",
+                 tenant: str = DEFAULT_TENANT):
+        self.os = os
+        self.tenant = tenant
+        self._held: set[int] = set()
+        #: every non-empty delta the controller would have applied
+        self.planned: list[CoreDelta] = []
+
+    def seed(self, cores: list[int]) -> None:
+        self._held = set(cores)
+
+    def apply(self, delta: CoreDelta) -> CoreDelta:
+        if delta:
+            self.planned.append(delta)
+        for core in delta.allocate:
+            if core in self._held:
+                raise AllocationError(
+                    f"dry-run already holds core {core}")
+            self._held.add(core)
+        for core in delta.release:
+            if core not in self._held:
+                raise AllocationError(
+                    f"dry-run does not hold core {core}")
+            self._held.discard(core)
+        return delta
+
+    def own(self) -> frozenset[int]:
+        return frozenset(self._held)
+
+    def foreign(self) -> frozenset[int]:
+        # dry-run plans against real foreign leases so the what-if
+        # staircase stays feasible on the shared machine
+        return self.os.inventory.unavailable_to(self.tenant)
+
+    @property
+    def n_allocated(self) -> int:
+        return len(self._held)
+
+
+class CooldownActuator:
+    """Hysteresis: after an applied change, hold the mask for a while.
+
+    A non-empty delta arriving within ``cooldown_ticks`` ticks of the
+    last applied change is suppressed (returned as the empty delta and
+    counted in :attr:`suppressed`); the controller then re-syncs its
+    model to the unchanged holdings, so the request is naturally
+    re-issued on a later tick if the pressure persists.  ``apply`` must
+    be called every tick — empty deltas advance the clock.
+    """
+
+    def __init__(self, inner: Actuator, cooldown_ticks: int):
+        if cooldown_ticks < 0:
+            raise AllocationError("cooldown_ticks must be >= 0")
+        self.inner = inner
+        self.cooldown_ticks = cooldown_ticks
+        self._tick = 0
+        self._last_change: int | None = None
+        #: deltas swallowed by the cooldown window
+        self.suppressed = 0
+
+    def seed(self, cores: list[int]) -> None:
+        self.inner.seed(cores)
+
+    def apply(self, delta: CoreDelta) -> CoreDelta:
+        self._tick += 1
+        if (delta and self._last_change is not None
+                and self._tick - self._last_change <= self.cooldown_ticks):
+            self.suppressed += 1
+            return NO_CHANGE
+        applied = self.inner.apply(delta)
+        if applied:
+            self._last_change = self._tick
+        return applied
+
+    def own(self) -> frozenset[int]:
+        return self.inner.own()
+
+    def foreign(self) -> frozenset[int]:
+        return self.inner.foreign()
+
+    @property
+    def n_allocated(self) -> int:
+        return self.inner.n_allocated

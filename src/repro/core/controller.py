@@ -1,29 +1,44 @@
 """The elastic controller: the rule-condition-action pipeline (paper §III).
 
-One instance supports all DBMS clients (as the paper notes in §V).  Every
-``interval`` seconds of simulated time it:
+One instance governs one tenant (one DBMS cgroup).  Every ``interval``
+seconds of simulated time it runs the staged control plane of
+:mod:`repro.control`:
 
-1. **rule** — samples the monitor (mpstat/likwid stand-in) and extracts the
-   strategy's metric;
-2. **condition** — deposits the metric token into the PrT model's ``Checks``
-   place and fires transitions until the token returns;
-3. **action** — if ``t5`` fired, allocates one core on the node the
-   allocation mode names; if ``t4`` fired, releases one; the cpuset edit is
-   what the OS scheduler sees.
+1. **Sense** — the :class:`~repro.control.MonitorSensor` samples the
+   monitor (mpstat/likwid stand-in);
+2. **Decide** — the :class:`~repro.control.ModelPolicy` extracts the
+   strategy's metric, deposits it into the PrT model's ``Checks`` place
+   and fires transitions until the token returns;
+3. **Plan** — the :class:`~repro.control.ModePlanner` turns the fired
+   ``t5``/``t4`` action into a concrete
+   :class:`~repro.control.CoreDelta` on the node the allocation mode
+   names, avoiding cores other tenants hold;
+4. **Actuate** — the :class:`~repro.control.LeaseActuator` applies the
+   delta through the system's core-lease inventory; the cpuset edit is
+   what the OS scheduler sees.  ``dry_run=True`` swaps in a
+   :class:`~repro.control.DryRunActuator` (plans recorded, machine
+   untouched) and ``cooldown_ticks`` wraps the actuator in a
+   :class:`~repro.control.CooldownActuator` (hysteresis after a change).
 
 The controller keeps ticking while database threads are live and parks
 itself otherwise (restart with :meth:`kick` when a new workload begins, or
 construct with ``keepalive=True`` to tick forever until :meth:`stop`).
+Lifecycle is an explicit state machine: ``new -> running -> stopped``.
 """
 
 from __future__ import annotations
 
 from ..config import ControllerConfig, preflight_defects
+from ..control.actuators import CooldownActuator, DryRunActuator
+from ..control.stages import (Actuator, DecisionPolicy, LeaseActuator,
+                              ModelPolicy, ModePlanner, MonitorSensor,
+                              Planner, Sensor, single_step)
 from ..errors import AllocationError, ModelConfigurationError
 from ..obs.metrics import VALUE_BUCKETS
 from ..obs.provenance import Decision
+from ..opsys.inventory import DEFAULT_TENANT
 from ..opsys.system import OperatingSystem
-from ..sim.tracing import ControllerTick, CoreAllocation, TransitionRecord
+from ..sim.tracing import ControllerTick, TransitionRecord
 from .lonc import LoncTracker
 from .model import PerformanceModel, TransitionChain
 from .modes import AdaptivePriorityMode, AllocationMode
@@ -32,65 +47,103 @@ from .strategies import TransitionStrategy
 
 
 class ElasticController:
-    """The mechanism of the paper, wired to one simulated machine."""
+    """The mechanism of the paper, wired to one tenant of one machine."""
 
     def __init__(self, os: OperatingSystem, mode: AllocationMode,
                  strategy: TransitionStrategy,
                  config: ControllerConfig | None = None,
-                 keepalive: bool = False, verify_model: bool = False):
+                 keepalive: bool = False, verify_model: bool = False,
+                 tenant: str = DEFAULT_TENANT, dry_run: bool = False,
+                 cooldown_ticks: int = 0,
+                 sensor: Sensor | None = None,
+                 policy: DecisionPolicy | None = None,
+                 planner: Planner | None = None,
+                 actuator: Actuator | None = None):
         self.os = os
         self.mode = mode
         self.strategy = strategy
-        base = config or ControllerConfig()
+        self.config = config or ControllerConfig()
+        self.tenant = tenant
         self.verify_model = verify_model
         # a contradictory configuration is held, not raised: start()
         # reports every defect at once as a ModelConfigurationError
         self._defects = preflight_defects(
-            strategy.th_min, strategy.th_max, base.min_cores,
-            base.initial_cores, os.topology.n_cores)
+            strategy.th_min, strategy.th_max, self.config.min_cores,
+            self.config.initial_cores, os.topology.n_cores)
         self.model: PerformanceModel | None
         if self._defects:
-            self.config = base
             self.model = None
         else:
-            # thresholds live on the strategy; fold them into the copy
-            self.config = ControllerConfig(
-                interval=base.interval,
-                th_min=strategy.th_min, th_max=strategy.th_max,
-                initial_cores=base.initial_cores,
-                min_cores=base.min_cores)
             self.model = PerformanceModel(
                 th_min=strategy.th_min, th_max=strategy.th_max,
                 n_total=os.topology.n_cores,
                 n_min=self.config.min_cores,
                 initial_cores=self.config.initial_cores)
         self.keepalive = keepalive
-        self.monitor = Monitor(os)
         self.lonc = LoncTracker(strategy.th_min, strategy.th_max)
         self.ticks = 0
-        self._started = False
-        self._stopped = False
+        self._lifecycle = "new"
         self._tick_scheduled = False
+        # --- the four stages (injectable for tests and extensions) ---
+        if actuator is None:
+            if dry_run:
+                actuator = DryRunActuator(os, tenant)
+            else:
+                actuator = LeaseActuator(os, tenant)
+            if cooldown_ticks > 0:
+                actuator = CooldownActuator(actuator, cooldown_ticks)
+        self.actuator: Actuator = actuator
+        if tenant == DEFAULT_TENANT:
+            self.monitor = Monitor(os)
+        else:
+            self.monitor = Monitor(
+                os, cpuset=os.inventory.cpuset_of(tenant), tenant=tenant)
+        self.sensor: Sensor = sensor or MonitorSensor(self.monitor)
+        if policy is None and self.model is not None:
+            policy = ModelPolicy(self.model, strategy)
+        self._policy = policy
+        if planner is None:
+            planner = ModePlanner(mode, self.actuator,
+                                  os.topology.n_cores)
+            planner.set_refresh(self._refresh_priority)
+        self.planner: Planner = planner
         # telemetry: instruments bound once; all no-ops when the
-        # system's recorder is the null one
+        # system's recorder is the null one.  The default tenant keeps
+        # the legacy names; other tenants get their own namespace.
         self.obs = os.obs
         metrics = self.obs.metrics
-        self._c_ticks = metrics.counter("controller.ticks")
-        self._c_allocations = metrics.counter("controller.allocations")
-        self._c_releases = metrics.counter("controller.releases")
-        self._g_cores = metrics.gauge("controller.cores_allocated")
-        self._h_metric = metrics.histogram("controller.metric",
+        infix = "" if tenant == DEFAULT_TENANT else f"{tenant}."
+        self._c_ticks = metrics.counter(f"controller.{infix}ticks")
+        self._c_allocations = metrics.counter(
+            f"controller.{infix}allocations")
+        self._c_releases = metrics.counter(f"controller.{infix}releases")
+        self._g_cores = metrics.gauge(
+            f"controller.{infix}cores_allocated")
+        self._h_metric = metrics.histogram(f"controller.{infix}metric",
                                            VALUE_BUCKETS)
         self._c_fired = {
-            name: metrics.counter(f"petrinet.fired.{name}")
+            name: metrics.counter(f"petrinet.{infix}fired.{name}")
             for name in ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7")}
+
+    @property
+    def policy(self) -> DecisionPolicy:
+        """Stage 2 (absent only while the config is defective)."""
+        if self._policy is None:
+            raise ModelConfigurationError(
+                "no decision policy: " + "; ".join(self._defects))
+        return self._policy
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def lifecycle(self) -> str:
+        """``"new"``, ``"running"`` or ``"stopped"``."""
+        return self._lifecycle
+
     def start(self) -> None:
-        """Apply the initial mask and schedule the first tick.
+        """Seed the initial leases and schedule the first tick.
 
         Pre-flight: a contradictory configuration (inverted thresholds,
         ``min_cores > n_total`` ...) raises
@@ -99,8 +152,11 @@ class ElasticController:
         :func:`repro.verify.verify_performance_model` runs first and any
         finding raises a :class:`~repro.errors.VerificationError`.
         """
-        if self._started:
+        if self._lifecycle == "running":
             raise AllocationError("controller already started")
+        if self._lifecycle == "stopped":
+            raise AllocationError(
+                "controller already stopped; construct a new one")
         if self._defects:
             raise ModelConfigurationError(
                 "refusing to start: " + "; ".join(self._defects))
@@ -108,29 +164,33 @@ class ElasticController:
             # local import: repro.verify imports from repro.core
             from ..verify import raise_on_findings, verify_performance_model
             raise_on_findings(verify_performance_model(self.model))
-        self._started = True
-        self._refresh_priority()
-        initial = self.mode.initial_mask(self.config.initial_cores)
-        self.os.cpuset.set_mask(initial)
-        for core in initial:
-            self._trace_mask_change(core, allocated=True)
+        self._lifecycle = "running"
+        self.planner.refresh()
+        initial = self.planner.initial_mask(self.config.initial_cores)
+        self.actuator.seed(initial)
         self._g_cores.set(self.n_allocated)
-        self.monitor.prime()
+        self.sensor.prime()
         self._schedule_tick()
 
     def stop(self) -> None:
-        """Stop ticking permanently."""
-        self._stopped = True
+        """Stop ticking permanently (idempotent)."""
+        self._lifecycle = "stopped"
 
     def kick(self) -> None:
-        """Re-arm the tick loop after the controller parked itself."""
-        if self._started and not self._stopped:
+        """Re-arm the tick loop after the controller parked itself.
+
+        A no-op once stopped; calling it before :meth:`start` is a
+        programming error and raises.
+        """
+        if self._lifecycle == "new":
+            raise AllocationError("cannot kick a controller before start()")
+        if self._lifecycle == "running":
             self._schedule_tick()
 
     @property
     def n_allocated(self) -> int:
-        """Cores currently handed to the OS."""
-        return len(self.os.cpuset)
+        """Cores this tenant currently holds."""
+        return self.actuator.n_allocated
 
     # ------------------------------------------------------------------
     # the pipeline
@@ -143,41 +203,45 @@ class ElasticController:
 
     def _tick(self) -> None:
         self._tick_scheduled = False
-        if self._stopped:
+        if self._lifecycle != "running":
             return
         chain = self.run_pipeline_once()
         self.os.tracer.emit(ControllerTick(
             time=self.os.now, metric=chain.metric,
             state=chain.state, n_allocated=self.n_allocated))
-        if self.keepalive or self.os.scheduler.live_threads() > 0:
+        watched = (None if self.tenant == DEFAULT_TENANT else self.tenant)
+        if self.keepalive or self.os.scheduler.live_threads(watched) > 0:
             self._schedule_tick()
 
     def run_pipeline_once(self) -> TransitionChain:
-        """One full rule-condition-action pass (public for tests/benches).
+        """One full Sense -> Decide -> Plan -> Actuate pass.
 
-        The four pipeline stages are wrapped in host-clock spans
-        (``controller.sample`` -> ``evaluate`` -> ``fire`` -> ``apply``)
-        and each pass leaves a :class:`~repro.obs.provenance.Decision`
-        in the recorder — the record ``repro explain`` renders.
+        Public for tests and benchmarks.  The stages are wrapped in
+        host-clock spans (``controller.sample`` -> ``evaluate`` ->
+        ``fire`` -> ``plan`` -> ``apply``) and each pass leaves a
+        :class:`~repro.obs.provenance.Decision` in the recorder — the
+        record ``repro explain`` renders.
         """
+        policy = self.policy
         spans = self.obs.spans
         with spans.span("controller.tick"):
             with spans.span("controller.sample"):
-                sample = self.monitor.sample()
+                sample = self.sensor.sense()
             with spans.span("controller.evaluate"):
-                metric = self.strategy.metric(sample)
-                self._refresh_priority()
+                metric = policy.metric(sample)
+                self.planner.refresh()
             with spans.span("controller.fire"):
-                chain = self.model.run_cycle(metric)
+                chain = policy.classify(metric)
             self.lonc.record(metric, self.n_allocated)
             cores_before = self.n_allocated
+            with spans.span("controller.plan"):
+                delta = single_step(self.planner.plan(chain.action))
             with spans.span("controller.apply"):
-                core: int | None = None
-                if chain.action == "allocate":
-                    core = self._allocate_one()
+                applied = self.actuator.apply(delta)
+                self._sync_model()
+                if applied.allocate:
                     self._c_allocations.inc()
-                elif chain.action == "release":
-                    core = self._release_one()
+                elif applied.release:
                     self._c_releases.inc()
         self._c_ticks.inc()
         self._h_metric.observe(metric)
@@ -185,7 +249,8 @@ class ElasticController:
         self._c_fired[chain.entry].inc()
         self._c_fired[chain.exit].inc()
         if self.obs.enabled:
-            self._record_decision(sample, chain, core, cores_before)
+            self._record_decision(sample, chain, applied.first_core,
+                                  cores_before)
         self.ticks += 1
         self.os.tracer.emit(TransitionRecord(
             time=self.os.now, label=chain.label, state=chain.state,
@@ -200,6 +265,7 @@ class ElasticController:
             priorities = tuple(self.mode.queue.counts())
         node = (self.os.topology.node_of_core(core)
                 if core is not None else None)
+        assert self.model is not None
         self.obs.decisions.record(Decision(
             time=self.os.now, tick=self.ticks,
             strategy=self.strategy.name, metric=chain.metric,
@@ -220,10 +286,11 @@ class ElasticController:
                 "runnable_threads": float(sample.runnable_threads),
                 "window": sample.window,
             },
-            priorities=priorities))
+            priorities=priorities,
+            tenant=self.tenant))
 
     # ------------------------------------------------------------------
-    # actions
+    # model/placement upkeep
     # ------------------------------------------------------------------
 
     def _refresh_priority(self) -> None:
@@ -232,29 +299,11 @@ class ElasticController:
                 self.os.scheduler.threads,
                 fallback=self.os.machine.memory.placement_histogram())
 
-    def _allocate_one(self) -> int:
-        allocated = self.os.cpuset.allowed()
-        core = self.mode.next_allocation(allocated)
-        self.os.cpuset.allow(core)
-        self._sync_model()
-        self._trace_mask_change(core, allocated=True)
-        return core
-
-    def _release_one(self) -> int:
-        allocated = self.os.cpuset.allowed()
-        core = self.mode.next_release(allocated)
-        self.os.cpuset.disallow(core)
-        self._sync_model()
-        self._trace_mask_change(core, allocated=False)
-        return core
-
     def _sync_model(self) -> None:
-        # the PrT net's Provision token and the cpuset must agree
-        if self.model.nalloc != len(self.os.cpuset):
-            self.model.sync_nalloc(len(self.os.cpuset))
-
-    def _trace_mask_change(self, core: int, allocated: bool) -> None:
-        self.os.tracer.emit(CoreAllocation(
-            time=self.os.now, core_id=core,
-            node_id=self.os.topology.node_of_core(core),
-            allocated=allocated, n_allocated=self.n_allocated))
+        # the PrT net's Provision token and the actuator's holdings must
+        # agree — also after a suppressed (cooldown) or starved (no free
+        # core) tick, where the fired transition moved the token but the
+        # machine did not change
+        assert self.model is not None
+        if self.model.nalloc != self.actuator.n_allocated:
+            self.model.sync_nalloc(self.actuator.n_allocated)

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..hardware.counters import CounterSnapshot
-from ..opsys.loadstats import LoadSample
+from ..opsys.cpuset import CpuSet
+from ..opsys.loadstats import LoadSample, LoadSampler
 from ..opsys.system import OperatingSystem
 
 
@@ -50,21 +51,39 @@ class MonitorSample:
 
 
 class Monitor:
-    """Stateful sampler; one per controller instance."""
+    """Stateful sampler; one per controller instance.
 
-    def __init__(self, os: OperatingSystem):
+    By default it observes the whole machine through the system's shared
+    :class:`~repro.opsys.loadstats.LoadSampler` (the single-tenant
+    legacy path).  Given a tenant's ``cpuset`` (and name), the monitor
+    owns a *private* sampler over that mask and counts only that
+    tenant's runnable threads, so two concurrent controllers never
+    corrupt each other's monitoring windows.  Counter deltas (HT, IMC,
+    L3) remain machine-wide either way — likwid reads sockets, not
+    cgroups.
+    """
+
+    def __init__(self, os: OperatingSystem, cpuset: CpuSet | None = None,
+                 tenant: str | None = None):
         self.os = os
+        self.tenant = tenant
+        if cpuset is None:
+            self._cpuset = os.cpuset
+            self._sampler = os.load_sampler
+        else:
+            self._cpuset = cpuset
+            self._sampler = LoadSampler(os.machine, cpuset)
         self._previous: CounterSnapshot | None = None
 
     def prime(self) -> None:
         """Take the initial snapshots without producing a sample."""
-        self.os.load_sampler.prime(self.os.now)
+        self._sampler.prime(self.os.now)
         self._previous = self.os.counters.snapshot(self.os.now)
 
     def sample(self) -> MonitorSample:
         """Observe the window since the previous call."""
         now = self.os.now
-        load = self.os.load_sampler.sample(now)
+        load = self._sampler.sample(now)
         current = self.os.counters.snapshot(now)
         previous = self._previous
         self._previous = current
@@ -77,5 +96,6 @@ class Monitor:
         return MonitorSample(
             time=now, window=load.window, load=load,
             ht_bytes=ht, imc_bytes=imc, l3_misses=l3,
-            runnable_threads=self.os.scheduler.runnable_threads(),
-            n_allocated=len(self.os.cpuset))
+            runnable_threads=self.os.scheduler.runnable_threads(
+                self.tenant),
+            n_allocated=len(self._cpuset))

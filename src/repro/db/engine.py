@@ -17,6 +17,7 @@ from collections.abc import Callable
 from ..config import EngineConfig
 from ..core.feedforward import PredicateAwareSizer
 from ..errors import DatabaseError
+from ..opsys.inventory import DEFAULT_TENANT
 from ..opsys.system import OperatingSystem
 from .catalog import Catalog
 from .cost import CostModel, compile_profile
@@ -32,13 +33,19 @@ class DatabaseEngine:
                  byte_scale: float = 1.0,
                  config: EngineConfig | None = None,
                  cost: CostModel | None = None,
-                 name: str = "engine"):
+                 name: str = "engine",
+                 tenant: str = DEFAULT_TENANT):
         self.os = os
         self.catalog = catalog
         self.byte_scale = byte_scale
         self.config = config or EngineConfig()
         self.cost = cost or CostModel()
         self.name = name
+        #: which cgroup the engine's workers live in; the tenant must be
+        #: registered on the system (``os.create_tenant``) beforehand —
+        #: the default one always is
+        self.tenant = tenant
+        self.cpuset = os.inventory.cpuset_of(tenant)
         self._plans: dict[str, PlanNode] = {}
         self._profiles: dict[str, QueryProfile] = {}
         self._sizer = PredicateAwareSizer() if self.config.predicate_aware \
@@ -96,7 +103,7 @@ class DatabaseEngine:
         are not confined by the mask and see every core.
         """
         if self.config.workers_follow_mask and self.config.managed_threads:
-            count = max(len(self.os.cpuset), 1)
+            count = max(len(self.cpuset), 1)
         else:
             count = self.os.topology.n_cores
         if self.config.max_workers is not None:
@@ -127,7 +134,8 @@ class DatabaseEngine:
                                    on_done=on_done)
         execution.start(n_workers, self.pinned_cores(n_workers),
                         self.pinned_nodes(n_workers),
-                        managed=self.config.managed_threads)
+                        managed=self.config.managed_threads,
+                        tenant=self.tenant)
         return execution
 
     def run_to_completion(self, name: str) -> QueryExecution:
@@ -145,9 +153,10 @@ class MonetDBLike(DatabaseEngine):
     def __init__(self, os: OperatingSystem, catalog: Catalog,
                  byte_scale: float = 1.0,
                  config: EngineConfig | None = None,
-                 cost: CostModel | None = None):
+                 cost: CostModel | None = None,
+                 tenant: str = DEFAULT_TENANT):
         super().__init__(os, catalog, byte_scale,
                          config or EngineConfig(workers_follow_mask=True,
                                                 loader_node=0,
                                                 numa_aware=False),
-                         cost, name="monetdb")
+                         cost, name="monetdb", tenant=tenant)

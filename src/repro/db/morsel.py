@@ -22,6 +22,7 @@ import math
 from collections.abc import Callable
 
 from ..config import EngineConfig
+from ..opsys.inventory import DEFAULT_TENANT
 from ..opsys.system import OperatingSystem
 from ..opsys.thread import SimThread
 from ..opsys.workitem import WorkItem
@@ -86,12 +87,13 @@ class MorselEngine(DatabaseEngine):
                  byte_scale: float = 1.0,
                  config: EngineConfig | None = None,
                  cost: CostModel | None = None,
-                 morsel_bytes: int = MORSEL_BYTES):
+                 morsel_bytes: int = MORSEL_BYTES,
+                 tenant: str = DEFAULT_TENANT):
         super().__init__(os, catalog, byte_scale,
                          config or EngineConfig(workers_follow_mask=True,
                                                 loader_node=None,
                                                 numa_aware=True),
-                         cost, name="morsel")
+                         cost, name="morsel", tenant=tenant)
         self.morsel_bytes = morsel_bytes
 
     # ------------------------------------------------------------------
@@ -119,7 +121,7 @@ class MorselEngine(DatabaseEngine):
         its node's least-loaded visible core and relaxes under
         congestion) — the dispatcher's work stealing, in effect.
         """
-        visible = self.os.cpuset.allowed_sorted()
+        visible = self.cpuset.allowed_sorted()
         topo = self.os.topology
         return [topo.node_of_core(visible[w % len(visible)])
                 for w in range(n_workers)]
@@ -141,5 +143,6 @@ class MorselEngine(DatabaseEngine):
                                          on_done=on_done)
         execution.start(n_workers,
                         pinned_nodes=self.pinned_nodes(n_workers),
-                        managed=self.config.managed_threads)
+                        managed=self.config.managed_threads,
+                        tenant=self.tenant)
         return execution

@@ -15,6 +15,7 @@ Differences from the MonetDB-like engine (paper §V-C / §VI):
 from __future__ import annotations
 
 from ..config import EngineConfig
+from ..opsys.inventory import DEFAULT_TENANT
 from ..opsys.system import OperatingSystem
 from .catalog import Catalog
 from .cost import CostModel
@@ -27,12 +28,13 @@ class NumaAwareEngine(DatabaseEngine):
     def __init__(self, os: OperatingSystem, catalog: Catalog,
                  byte_scale: float = 1.0,
                  config: EngineConfig | None = None,
-                 cost: CostModel | None = None):
+                 cost: CostModel | None = None,
+                 tenant: str = DEFAULT_TENANT):
         super().__init__(os, catalog, byte_scale,
                          config or EngineConfig(workers_follow_mask=True,
                                                 loader_node=None,
                                                 numa_aware=True),
-                         cost, name="sqlserver")
+                         cost, name="sqlserver", tenant=tenant)
         self._node_rotor = 0
 
     def pinned_nodes(self, n_workers: int) -> list[int | None]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Sequence
 
+from ..opsys.inventory import DEFAULT_TENANT
 from ..opsys.system import OperatingSystem
 from ..opsys.thread import SimThread
 from ..opsys.workitem import WorkItem
@@ -50,7 +51,8 @@ class QueryExecution:
     def start(self, n_workers: int,
               pinned_cores: Sequence[int | None] | None = None,
               pinned_nodes: Sequence[int | None] | None = None,
-              managed: bool = True) -> None:
+              managed: bool = True,
+              tenant: str = DEFAULT_TENANT) -> None:
         """Publish the first stage and spawn the worker pool."""
         if self.start_time is not None:
             raise RuntimeError("query already started")
@@ -63,7 +65,7 @@ class QueryExecution:
                 self, name=f"{self.query_name}.w{w}",
                 process_id=self.client_id, pinned_core=pin,
                 pinned_node=node, managed=managed,
-                on_exit=self._worker_exited)
+                on_exit=self._worker_exited, tenant=tenant)
             self._workers.append(thread)
             self._workers_alive += 1
 

@@ -49,6 +49,12 @@ class AllocationError(ReproError):
     """The core-allocation mechanism attempted an impossible allocation."""
 
 
+class LeaseError(AllocationError):
+    """A core-lease operation conflicts with the inventory's bookkeeping:
+    acquiring a core another tenant holds, releasing a core the tenant
+    does not hold, or shrinking a tenant below its ``min_cores`` floor."""
+
+
 class VerificationError(ReproError):
     """Static verification of the mechanism failed.
 

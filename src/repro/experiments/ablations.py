@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.report import render_table
-from ..config import ControllerConfig, EngineConfig, SchedulerConfig
+from ..config import EngineConfig, SchedulerConfig
 from ..core.strategies import CpuLoadStrategy
 from ..db.clients import repeat_stream
 from .common import build_system
@@ -87,7 +87,6 @@ def thresholds(n_clients: int = 16, reps: int = 3, scale: float = 0.01,
         sut = build_system(
             engine="monetdb", mode="adaptive",
             strategy=CpuLoadStrategy(th_min=th_min, th_max=th_max),
-            controller=ControllerConfig(th_min=th_min, th_max=th_max),
             scale=scale, sim_scale=sim_scale)
         result.cells[f"th=({th_min:g},{th_max:g})"] = _measure(
             sut, n_clients, reps)

@@ -11,7 +11,7 @@ ticks per state — the x-axis annotations of Fig 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis.report import render_table
 from ..core.lonc import LoncReport
@@ -28,6 +28,9 @@ class Fig07Result:
     transitions: list[tuple[float, str, float, int]]
     lonc: LoncReport
     elapsed: float
+    #: every trace record of the run, exportable via
+    #: :func:`repro.sim.export.dump_records` (golden-trace regression)
+    records: list[object] = field(default_factory=list)
 
     def chains(self) -> list[str]:
         """Fired chain labels in order (``t1-Overload-t5`` ...)."""
@@ -86,4 +89,5 @@ def run(repetitions: int = 10, scale: float = 0.01,
     ]
     return Fig07Result(transitions=transitions,
                        lonc=sut.controller.lonc.report(),
-                       elapsed=result.makespan)
+                       elapsed=result.makespan,
+                       records=sut.os.tracer.all())

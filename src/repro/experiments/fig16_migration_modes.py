@@ -29,6 +29,9 @@ class Fig16Cell:
     migrations: int
     nodes_used: int
     elapsed: float
+    #: every trace record of the traced repetitions, exportable via
+    #: :func:`repro.sim.export.dump_records` (golden-trace regression)
+    records: tuple[object, ...] = ()
 
 
 @dataclass
@@ -76,5 +79,6 @@ def run(repetitions: int = 2, warmup: int = 4, scale: float = 0.01,
             migrations=len(sut.os.tracer.of(MigrationRecord)),
             nodes_used=len(nodes),
             elapsed=workload.makespan,
+            records=tuple(sut.os.tracer.all()),
         )
     return result

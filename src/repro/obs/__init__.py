@@ -26,8 +26,8 @@ taxonomy.
 
 from .export import (DECISIONS_JSONL, METRICS_JSONL, METRICS_PROM,
                      TRACE_JSON, dump_chrome_trace, dump_metrics_jsonl,
-                     export_run, load_metrics_jsonl, render_prometheus,
-                     stats_table)
+                     export_run, load_metrics_jsonl, metric_tenant,
+                     render_prometheus, stats_table)
 from .metrics import (HOST_TIME_BUCKETS, TIME_BUCKETS, VALUE_BUCKETS,
                       Counter, Gauge, Histogram, MetricsRegistry,
                       NullMetricsRegistry)
@@ -53,6 +53,6 @@ __all__ = [
     "dump_decisions", "load_decisions",
     # exporters
     "render_prometheus", "dump_metrics_jsonl", "load_metrics_jsonl",
-    "dump_chrome_trace", "export_run", "stats_table",
+    "dump_chrome_trace", "export_run", "stats_table", "metric_tenant",
     "METRICS_PROM", "METRICS_JSONL", "TRACE_JSON", "DECISIONS_JSONL",
 ]

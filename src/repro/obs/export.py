@@ -148,6 +148,32 @@ def export_run(recorder, directory) -> dict[str, pathlib.Path]:
 # the `repro stats` table
 # ----------------------------------------------------------------------
 
+#: metric families that carry a tenant segment when the instrument
+#: belongs to a non-default tenant (``controller.volcano.ticks``); the
+#: default tenant keeps the bare historical names (``controller.ticks``)
+_TENANT_FAMILIES = frozenset({"controller", "cpuset", "petrinet"})
+
+
+def metric_tenant(name: str) -> str | None:
+    """The tenant a per-tenant metric belongs to, or ``None``.
+
+    ``None`` means the metric is machine-wide (``sim.events``,
+    ``scheduler.migrations`` ...) and shows up regardless of any
+    ``--tenant`` filter.
+    """
+    from ..opsys.inventory import DEFAULT_TENANT
+
+    parts = name.split(".")
+    if parts[0] not in _TENANT_FAMILIES or len(parts) < 2:
+        return None
+    if parts[0] == "petrinet":
+        # petrinet.fired.t1 (default) vs petrinet.<tenant>.fired.t1
+        return DEFAULT_TENANT if parts[1] == "fired" else parts[1]
+    # controller.ticks / cpuset.cores_added (default, two segments) vs
+    # controller.<tenant>.ticks / cpuset.<tenant>.cores_added
+    return DEFAULT_TENANT if len(parts) == 2 else parts[1]
+
+
 def _stats_rows(entries) -> list[list[object]]:
     rows: list[list[object]] = []
     for entry in entries:
@@ -163,12 +189,22 @@ def _stats_rows(entries) -> list[list[object]]:
     return rows
 
 
-def stats_table(metrics_or_entries, title: str = "telemetry") -> str:
-    """Summary table over a registry or a loaded JSONL snapshot."""
+def stats_table(metrics_or_entries, title: str = "telemetry",
+                tenant: str | None = None) -> str:
+    """Summary table over a registry or a loaded JSONL snapshot.
+
+    With ``tenant``, only that tenant's per-tenant instruments are
+    listed — machine-wide metrics are filtered out too, so the table
+    answers "what did *this* controller do".
+    """
     if hasattr(metrics_or_entries, "snapshot"):
         entries = metrics_or_entries.snapshot()
     else:
         entries = list(metrics_or_entries)
+    if tenant is not None:
+        entries = [e for e in entries
+                   if metric_tenant(e["name"]) == tenant]
+        title = f"{title} (tenant {tenant})"
     if not entries:
         return "(no metrics recorded)"
     return render_table(

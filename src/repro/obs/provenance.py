@@ -53,6 +53,9 @@ class Decision:
     sample: dict[str, float] = field(default_factory=dict)
     #: adaptive mode's per-node resident-page counts (None otherwise)
     priorities: tuple[float, ...] | None = None
+    #: tenant whose controller took the decision (multi-tenant systems
+    #: run one controller per tenant; ``repro explain --tenant`` filters)
+    tenant: str = "db"
 
     @property
     def label(self) -> str:
@@ -210,6 +213,11 @@ def load_decisions(path) -> list[Decision]:
     path = pathlib.Path(path)
     decisions = []
     field_names = {f.name for f in dataclasses.fields(Decision)}
+    # fields with defaults may be absent (files written before the field
+    # existed — e.g. ``tenant`` — still load); the rest are mandatory
+    required = {f.name for f in dataclasses.fields(Decision)
+                if f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING}
     with path.open("r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -220,9 +228,9 @@ def load_decisions(path) -> list[Decision]:
             except json.JSONDecodeError as exc:
                 raise ReproError(
                     f"{path}:{line_no}: invalid JSON") from exc
-            if not isinstance(payload, dict) or not field_names <= set(
+            if not isinstance(payload, dict) or not required <= set(
                     payload):
-                missing = field_names - set(payload or ())
+                missing = required - set(payload or ())
                 raise ReproError(
                     f"{path}:{line_no}: not a decision record "
                     f"(missing {sorted(missing)})")

@@ -11,6 +11,7 @@ This package stands in for the Linux kernel facilities the paper relies on:
 """
 
 from .cpuset import CpuSet
+from .inventory import DEFAULT_TENANT, CoreInventory, CoreLease
 from .loadstats import LoadSample, LoadSampler
 from .scheduler import Scheduler
 from .system import OperatingSystem
@@ -25,6 +26,9 @@ __all__ = [
     "ThreadState",
     "WorkSource",
     "CpuSet",
+    "CoreInventory",
+    "CoreLease",
+    "DEFAULT_TENANT",
     "VirtualMemory",
     "Scheduler",
     "LoadSampler",

@@ -29,6 +29,7 @@ from ..sim.engine import Simulator
 from ..sim.tracing import (MigrationRecord, PlacementRecord, StageRecord,
                            TraceRecorder)
 from .cpuset import CpuSet
+from .inventory import DEFAULT_TENANT
 from .thread import SimThread, ThreadState
 from .vm import VirtualMemory
 from .workitem import WorkItem
@@ -93,7 +94,12 @@ class Scheduler:
         self._page_stream_time = (
             cfg.page_bytes / cfg.dram_bandwidth
             + lines / cfg.memory_parallelism * cfg.dram_latency)
-        cpuset.subscribe(self._on_mask_change)
+        #: tenant name -> the cpuset confining that tenant's managed
+        #: threads; the default tenant owns the legacy machine-wide mask
+        self._tenant_masks: dict[str, CpuSet] = {DEFAULT_TENANT: cpuset}
+        cpuset.subscribe(
+            lambda added, removed:
+            self._on_mask_change(added, removed, DEFAULT_TENANT))
 
     # ------------------------------------------------------------------
     # public API
@@ -122,31 +128,81 @@ class Scheduler:
             self._note_migration(thread, prev, core, stolen=False)
         self._enqueue(thread, core)
 
-    def live_threads(self) -> int:
-        """Threads admitted and not yet exited (incl. blocked)."""
-        return self._live_threads
+    def live_threads(self, tenant: str | None = None) -> int:
+        """Threads admitted and not yet exited (incl. blocked).
+
+        With ``tenant`` given, only that tenant's threads are counted.
+        """
+        if tenant is None:
+            return self._live_threads
+        return sum(1 for t in self.threads if t.tenant == tenant)
 
     def core_load(self, core: int) -> int:
         """Queue length of ``core`` including the running thread."""
         return len(self._queues[core]) + (self._running[core] is not None)
 
-    def runnable_threads(self) -> int:
-        """Ready or running threads across all cores."""
-        return sum(len(q) for q in self._queues) + sum(
-            1 for t in self._running if t is not None)
+    def runnable_threads(self, tenant: str | None = None) -> int:
+        """Ready or running threads across all cores.
+
+        With ``tenant`` given, only that tenant's threads are counted.
+        """
+        if tenant is None:
+            return sum(len(q) for q in self._queues) + sum(
+                1 for t in self._running if t is not None)
+        return (sum(1 for q in self._queues
+                    for t in q if t.tenant == tenant)
+                + sum(1 for t in self._running
+                      if t is not None and t.tenant == tenant))
+
+    # ------------------------------------------------------------------
+    # tenant masks
+    # ------------------------------------------------------------------
+
+    def register_tenant_mask(self, tenant: str, cpuset: CpuSet) -> None:
+        """Confine ``tenant``'s managed threads to ``cpuset``.
+
+        The scheduler honours one mask per tenant exactly as it honours
+        the legacy machine-wide one: placement, idle pulls, balancing
+        and eviction all consult the mask of the *thread's* tenant.
+        """
+        if cpuset.n_cores != self.machine.topology.n_cores:
+            raise SchedulerError("tenant mask size does not match "
+                                 "the machine")
+        if tenant in self._tenant_masks:
+            raise SchedulerError(
+                f"tenant {tenant!r} already has a mask")
+        self._tenant_masks[tenant] = cpuset
+        cpuset.subscribe(
+            lambda added, removed:
+            self._on_mask_change(added, removed, tenant))
+
+    def _mask_for(self, thread: SimThread) -> CpuSet | None:
+        """The cpuset confining ``thread`` (``None`` for unmanaged)."""
+        if not thread.managed:
+            return None
+        return self._tenant_masks.get(thread.tenant, self.cpuset)
+
+    def _may_run_on(self, thread: SimThread, core: int) -> bool:
+        """Whether ``thread``'s tenant mask allows ``core``."""
+        mask = self._mask_for(thread)
+        return mask is None or mask.is_allowed(core)
 
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
 
     def _choose_core(self, thread: SimThread) -> int:
-        if thread.managed:
-            allowed = self.cpuset.allowed_sorted()
+        mask = self._mask_for(thread)
+        if mask is not None:
+            allowed = mask.allowed_sorted()
         else:
-            # other applications are not confined by the DB cgroup
+            # other applications are not confined by any DB cgroup
             allowed = list(self.machine.topology.all_cores())
+        # historical quirk, kept deliberately: an *unmanaged* pinned
+        # thread is still guarded by the default tenant's mask here
+        guard = mask if mask is not None else self.cpuset
         if thread.pinned_core is not None:
-            if self.cpuset.is_allowed(thread.pinned_core):
+            if guard.is_allowed(thread.pinned_core):
                 return thread.pinned_core
             # pinned core was released: prefer a sibling on the same node
             node = self.machine.topology.node_of_core(thread.pinned_core)
@@ -171,7 +227,7 @@ class Scheduler:
                 if not congested:
                     allowed = siblings
         elif not self.config.wakeup_spread and thread.core is not None:
-            if self.cpuset.is_allowed(thread.core):
+            if guard.is_allowed(thread.core):
                 return thread.core
         return min(allowed, key=lambda c: (self.core_load(c), c))
 
@@ -206,11 +262,11 @@ class Scheduler:
         from the busiest queue (CFS's newidle path).  Core-pinned threads
         never move; node-affined threads prefer their node but are pulled
         across nodes when the donor queue is long (the affinity
-        relaxation under congestion).  A core outside the DB cpuset may
-        only pull *unmanaged* threads (other applications)."""
+        relaxation under congestion).  A core outside a tenant's cpuset
+        may not pull that tenant's threads (but may pull unmanaged
+        ones — other applications)."""
         topo = self.machine.topology
         my_node = topo.node_of_core(core)
-        in_mask = self.cpuset.is_allowed(core)
         donors = sorted((c for c in topo.all_cores() if c != core),
                         key=lambda c: -len(self._queues[c]))
         for donor in donors:
@@ -222,7 +278,7 @@ class Scheduler:
             for thread in queue:
                 if thread.pinned_core is not None:
                     continue
-                if thread.managed and not in_mask:
+                if not self._may_run_on(thread, core):
                     continue
                 if thread.pinned_node is not None:
                     same_node = thread.pinned_node == my_node
@@ -359,7 +415,7 @@ class Scheduler:
                 item.on_complete(item)
         thread.state = ThreadState.READY
         target = core
-        if thread.managed and not self.cpuset.is_allowed(core):
+        if not self._may_run_on(thread, core):
             target = self._choose_core(thread)
             self._note_migration(thread, core, target, stolen=False)
         self._queues[target].append(thread)
@@ -397,8 +453,13 @@ class Scheduler:
         self._balance_scheduled = False
         if self._live_threads == 0:
             return
-        allowed = self.cpuset.allowed_sorted()
-        if len(allowed) > 1:
+        # one balancing domain per tenant mask (cgroups semantics: the
+        # kernel balances within each cpuset); with a single tenant this
+        # is exactly the legacy machine-wide pass
+        for mask in self._tenant_masks.values():
+            allowed = mask.allowed_sorted()
+            if len(allowed) <= 1:
+                continue
             for _ in range(len(allowed)):
                 if not self._steal_once(allowed):
                     break
@@ -427,7 +488,8 @@ class Scheduler:
         queue = self._queues[busiest]
         victim = None
         for candidate in reversed(queue):
-            if candidate.pinned_core is None:
+            if (candidate.pinned_core is None
+                    and self._may_run_on(candidate, idlest)):
                 victim = candidate
                 break
         if victim is None:
@@ -453,7 +515,8 @@ class Scheduler:
         queue = self._queues[busiest]
         victim = None
         for candidate in reversed(queue):
-            if not candidate.is_pinned():
+            if (not candidate.is_pinned()
+                    and self._may_run_on(candidate, idlest)):
                 victim = candidate
                 break
         if victim is None:
@@ -470,10 +533,14 @@ class Scheduler:
     # cpuset enforcement
     # ------------------------------------------------------------------
 
-    def _on_mask_change(self, added: set[int], removed: set[int]) -> None:
+    def _on_mask_change(self, added: set[int], removed: set[int],
+                        tenant: str = DEFAULT_TENANT) -> None:
         for core in removed:
             queue = self._queues[core]
-            evicted = [t for t in queue if t.managed]
+            # evict managed threads whose own tenant mask lost the core
+            # (another tenant's threads queued here are unaffected)
+            evicted = [t for t in queue
+                       if t.managed and not self._may_run_on(t, core)]
             self._c_evictions.inc(len(evicted))
             for thread in evicted:
                 queue.remove(thread)

@@ -16,6 +16,7 @@ from ..obs.recorder import current_recorder
 from ..sim.engine import Simulator
 from ..sim.tracing import TraceRecorder
 from .cpuset import CpuSet
+from .inventory import DEFAULT_TENANT, CoreInventory
 from .loadstats import LoadSampler
 from .scheduler import Scheduler
 from .thread import SimThread, WorkSource
@@ -38,6 +39,10 @@ class OperatingSystem:
         #: defaults to the installed one (or the null fast path)
         self.obs = obs if obs is not None else current_recorder()
         self.cpuset = CpuSet(self.machine.topology.n_cores, initial_mask)
+        #: the core-lease ledger arbitrating between tenants; the default
+        #: tenant owns the legacy machine-wide cpuset above
+        self.inventory = CoreInventory(self.machine.topology.n_cores)
+        self.inventory.adopt(DEFAULT_TENANT, self.cpuset)
         sched_cfg = scheduler_config or SchedulerConfig()
         self.vm = VirtualMemory(
             self.machine, numa_balancing=sched_cfg.numa_balancing,
@@ -59,6 +64,32 @@ class OperatingSystem:
         self._c_cores_removed.inc(len(removed))
         self._g_allowed.set(len(self.cpuset))
 
+    def create_tenant(self, name: str, min_cores: int = 1) -> CpuSet:
+        """Register a new tenant with its own cpuset on this machine.
+
+        The fresh cpuset starts machine-wide (like an unmanaged Linux
+        box); a controller seeding the tenant's leases shrinks it.  The
+        scheduler confines the tenant's managed threads to the mask, and
+        per-tenant ``cpuset.<name>.*`` instruments mirror the default
+        tenant's telemetry.
+        """
+        cpuset = CpuSet(self.machine.topology.n_cores)
+        self.inventory.adopt(name, cpuset, min_cores=min_cores)
+        self.scheduler.register_tenant_mask(name, cpuset)
+        metrics = self.obs.metrics
+        c_added = metrics.counter(f"cpuset.{name}.cores_added")
+        c_removed = metrics.counter(f"cpuset.{name}.cores_removed")
+        g_allowed = metrics.gauge(f"cpuset.{name}.allowed_cores")
+        g_allowed.set(len(cpuset))
+
+        def on_change(added: set[int], removed: set[int]) -> None:
+            c_added.inc(len(added))
+            c_removed.inc(len(removed))
+            g_allowed.set(len(cpuset))
+
+        cpuset.subscribe(on_change)
+        return cpuset
+
     @property
     def now(self) -> float:
         """Current simulated time."""
@@ -77,12 +108,13 @@ class OperatingSystem:
     def spawn_thread(self, source: WorkSource, name: str = "",
                      process_id: int = 0, pinned_core: int | None = None,
                      pinned_node: int | None = None, managed: bool = True,
-                     on_exit=None) -> SimThread:
+                     on_exit=None,
+                     tenant: str = DEFAULT_TENANT) -> SimThread:
         """Create and admit a thread in one call."""
         thread = SimThread(source, name=name, process_id=process_id,
                            pinned_core=pinned_core,
                            pinned_node=pinned_node, managed=managed,
-                           on_exit=on_exit)
+                           on_exit=on_exit, tenant=tenant)
         self.scheduler.spawn(thread)
         return thread
 

@@ -18,6 +18,7 @@ from collections.abc import Callable
 from typing import Protocol
 
 from ..errors import SchedulerError
+from .inventory import DEFAULT_TENANT
 from .workitem import WorkItem
 
 
@@ -58,7 +59,8 @@ class SimThread:
                  pinned_core: int | None = None,
                  pinned_node: int | None = None,
                  managed: bool = True,
-                 on_exit: Callable[["SimThread"], None] | None = None):
+                 on_exit: Callable[["SimThread"], None] | None = None,
+                 tenant: str = DEFAULT_TENANT):
         self.tid = SimThread._next_id
         SimThread._next_id += 1
         self.name = name or f"T{self.tid}"
@@ -72,6 +74,9 @@ class SimThread:
         #: applications sharing the machine, the paper's mixed OLAP/OLTP
         #: future-work scenario) may run on any core
         self.managed = managed
+        #: which tenant's cgroup (cpuset) confines the thread; only
+        #: meaningful for managed threads
+        self.tenant = tenant
         self.on_exit = on_exit
         self.state = ThreadState.NEW
         #: core currently hosting the thread (queue or execution)

@@ -14,9 +14,10 @@ BROKEN_MODELS = str(FIXTURES / "broken_models.py")
 def test_every_experiment_is_registered():
     expected = {"fig4", "fig5", "fig6", "fig7", "fig13", "fig14",
                 "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-                "overhead", "sla", "oltp", "ablation-thresholds",
-                "ablation-strategies", "ablation-parallelism",
-                "predicate-aware", "morsel", "ablation-autonuma"}
+                "overhead", "sla", "oltp", "multi-tenant",
+                "ablation-thresholds", "ablation-strategies",
+                "ablation-parallelism", "predicate-aware", "morsel",
+                "ablation-autonuma"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -103,6 +104,18 @@ def test_stats_command(telemetry_dir, capsys):
     assert "scheduler.dispatches" in out
 
 
+def test_stats_tenant_filter(telemetry_dir, capsys):
+    assert main(["stats", str(telemetry_dir), "--tenant", "db"]) == 0
+    out = capsys.readouterr().out
+    assert "(tenant db)" in out
+    assert "controller.ticks" in out
+    # machine-wide metrics are filtered out with the tenant lens on
+    assert "scheduler.dispatches" not in out
+    assert main(["stats", str(telemetry_dir),
+                 "--tenant", "nobody"]) == 0
+    assert "no metrics recorded" in capsys.readouterr().out
+
+
 def test_stats_missing_path_is_an_error(tmp_path, capsys):
     assert main(["stats", str(tmp_path)]) == 2
     assert "no metrics snapshot" in capsys.readouterr().err
@@ -122,6 +135,16 @@ def test_explain_tick_filter(telemetry_dir, capsys):
     assert out.startswith("tick 0 ")
     assert main(["explain", str(telemetry_dir), "--tick", "9999"]) == 2
     assert "no decision" in capsys.readouterr().err
+
+
+def test_explain_tenant_filter(telemetry_dir, capsys):
+    # the recorded run is the single default tenant: "db" keeps all
+    assert main(["explain", str(telemetry_dir), "--tenant", "db",
+                 "--limit", "1"]) == 0
+    assert "tick" in capsys.readouterr().out
+    assert main(["explain", str(telemetry_dir),
+                 "--tenant", "nobody"]) == 0
+    assert "no matching decisions" in capsys.readouterr().out
 
 
 def test_explain_limit_elides(telemetry_dir, capsys):

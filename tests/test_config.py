@@ -63,16 +63,16 @@ class TestSchedulerConfig:
 
 
 class TestControllerConfig:
-    def test_paper_thresholds(self):
+    def test_paper_defaults(self):
         config = ControllerConfig()
-        assert config.th_min == 10.0
-        assert config.th_max == 70.0
         assert config.initial_cores == 1
         assert config.min_cores == 1
 
-    def test_rejects_crossed_thresholds(self):
-        with pytest.raises(ConfigError):
-            ControllerConfig(th_min=80, th_max=70)
+    def test_thresholds_live_on_the_strategy(self):
+        # one source of truth: the strategy owns th_min/th_max and the
+        # config deliberately has no such fields to fall out of sync with
+        assert not hasattr(ControllerConfig(), "th_min")
+        assert not hasattr(ControllerConfig(), "th_max")
 
     def test_rejects_zero_interval(self):
         with pytest.raises(ConfigError):

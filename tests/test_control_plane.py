@@ -1,0 +1,299 @@
+"""The staged control plane: lifecycle, stages, decorators, tenancy.
+
+Covers the seams the Sense -> Decide -> Plan -> Actuate decomposition
+introduced: the controller's explicit lifecycle state machine, the
+planner's foreign-core avoidance, the dry-run and cooldown actuator
+decorators, and two controllers coexisting on one machine through the
+core-lease inventory.
+"""
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.control import (CooldownActuator, CoreDelta, DryRunActuator,
+                           ModePlanner, NO_CHANGE, single_step)
+from repro.core.controller import ElasticController
+from repro.core.modes import DenseMode, make_mode
+from repro.core.strategies import CpuLoadStrategy
+from repro.errors import AllocationError, LeaseError, SchedulerError
+from repro.hardware.prebuilt import small_numa
+from repro.opsys.system import OperatingSystem
+from repro.opsys.workitem import ListWorkSource, WorkItem
+
+
+def make_controller(mode="dense", keepalive=False, tenant=None, os_=None,
+                    **kwargs):
+    os_ = os_ or OperatingSystem(small_numa())
+    extra = {} if tenant is None else {"tenant": tenant}
+    controller = ElasticController(
+        os_, make_mode(mode, os_.topology), CpuLoadStrategy(),
+        ControllerConfig(), keepalive=keepalive, **extra, **kwargs)
+    return os_, controller
+
+
+def scan_source(os_, n_pages=64, cycles=5e8, node=0):
+    pages = list(os_.machine.memory.allocate(n_pages))
+    for page in pages:
+        os_.machine.memory.place(page, node)
+    return ListWorkSource([WorkItem("scan", reads=pages, cycles=cycles)])
+
+
+# ----------------------------------------------------------------------
+# lifecycle state machine
+# ----------------------------------------------------------------------
+
+def test_lifecycle_progression():
+    _, controller = make_controller()
+    assert controller.lifecycle == "new"
+    controller.start()
+    assert controller.lifecycle == "running"
+    controller.stop()
+    assert controller.lifecycle == "stopped"
+
+
+def test_kick_before_start_raises():
+    _, controller = make_controller()
+    with pytest.raises(AllocationError, match="before start"):
+        controller.kick()
+
+
+def test_kick_after_stop_is_a_noop():
+    os_, controller = make_controller()
+    controller.start()
+    controller.stop()
+    controller.kick()  # must not raise, must not re-arm
+    os_.spawn_thread(scan_source(os_))
+    os_.run_until_idle()
+    assert controller.ticks == 0
+
+
+def test_start_after_stop_raises():
+    _, controller = make_controller()
+    controller.start()
+    controller.stop()
+    with pytest.raises(AllocationError, match="construct a new one"):
+        controller.start()
+
+
+def test_stop_is_idempotent():
+    _, controller = make_controller()
+    controller.start()
+    controller.stop()
+    controller.stop()
+    assert controller.lifecycle == "stopped"
+
+
+def test_keepalive_controller_stops_cleanly():
+    os_, controller = make_controller(keepalive=True)
+    controller.start()
+    # no workload at all: keepalive keeps the tick loop armed
+    os_.run(until=0.2)
+    assert controller.ticks > 0
+    ticked = controller.ticks
+    controller.stop()
+    # if stop did not disarm the loop this would never return
+    os_.run_until_idle()
+    assert controller.ticks == ticked
+
+
+def test_kick_after_park_runs_one_more_pass():
+    os_, controller = make_controller()
+    controller.start()
+    os_.spawn_thread(scan_source(os_, cycles=1e8))
+    os_.run_until_idle()
+    parked_at = controller.ticks
+    controller.kick()
+    os_.run_until_idle()
+    # no threads alive: exactly one pass, then it parks again
+    assert controller.ticks == parked_at + 1
+
+
+# ----------------------------------------------------------------------
+# stage pieces
+# ----------------------------------------------------------------------
+
+def test_core_delta_truthiness_and_first_core():
+    assert not NO_CHANGE
+    assert NO_CHANGE.first_core is None
+    assert CoreDelta(allocate=(3,)).first_core == 3
+    assert CoreDelta(release=(5,)).first_core == 5
+    assert bool(CoreDelta(release=(5,)))
+
+
+def test_single_step_rejects_multi_core_deltas():
+    assert single_step(CoreDelta(allocate=(1,))).allocate == (1,)
+    with pytest.raises(AllocationError, match="one core per tick"):
+        single_step(CoreDelta(allocate=(1, 2)))
+    with pytest.raises(AllocationError):
+        single_step(CoreDelta(allocate=(1,), release=(2,)))
+
+
+class _View:
+    """A frozen CoreView for planner tests."""
+
+    def __init__(self, own=(), foreign=()):
+        self._own = frozenset(own)
+        self._foreign = frozenset(foreign)
+
+    def own(self):
+        return self._own
+
+    def foreign(self):
+        return self._foreign
+
+
+def test_planner_allocates_around_foreign_cores():
+    os_ = OperatingSystem(small_numa())
+    planner = ModePlanner(DenseMode(os_.topology),
+                          _View(own={0}, foreign={1, 2}),
+                          os_.topology.n_cores)
+    delta = planner.plan("allocate")
+    assert delta.allocate and delta.allocate[0] not in {0, 1, 2}
+
+
+def test_planner_reports_no_change_when_starved():
+    os_ = OperatingSystem(small_numa())
+    n = os_.topology.n_cores
+    planner = ModePlanner(DenseMode(os_.topology),
+                          _View(own={0}, foreign=set(range(1, n))), n)
+    assert planner.plan("allocate") is NO_CHANGE
+
+
+def test_planner_initial_mask_skips_foreign():
+    os_ = OperatingSystem(small_numa())
+    planner = ModePlanner(DenseMode(os_.topology),
+                          _View(foreign={0, 1}), os_.topology.n_cores)
+    mask = planner.initial_mask(2)
+    assert len(mask) == 2 and not set(mask) & {0, 1}
+
+
+# ----------------------------------------------------------------------
+# actuator decorators
+# ----------------------------------------------------------------------
+
+def test_dry_run_leaves_the_machine_untouched():
+    os_, controller = make_controller(dry_run=True)
+    n = os_.topology.n_cores
+    controller.start()
+    for _ in range(3):
+        os_.spawn_thread(scan_source(os_))
+    os_.run_until_idle()
+    # the real mask never shrank: threads ran on the whole machine
+    assert len(os_.cpuset) == n
+    assert not os_.inventory.is_governed("db")
+    # but the what-if staircase evolved
+    actuator = controller.actuator
+    assert isinstance(actuator, DryRunActuator)
+    assert actuator.planned
+    assert controller.model.nalloc == controller.n_allocated
+
+
+def test_dry_run_guards_virtual_holdings():
+    os_ = OperatingSystem(small_numa())
+    actuator = DryRunActuator(os_)
+    actuator.seed([0])
+    with pytest.raises(AllocationError):
+        actuator.apply(CoreDelta(allocate=(0,)))
+    with pytest.raises(AllocationError):
+        actuator.apply(CoreDelta(release=(3,)))
+
+
+def test_cooldown_suppresses_rapid_changes():
+    os_, controller = make_controller(cooldown_ticks=4)
+    controller.start()
+    for _ in range(4):
+        os_.spawn_thread(scan_source(os_))
+    os_.run_until_idle()
+    actuator = controller.actuator
+    assert isinstance(actuator, CooldownActuator)
+    assert actuator.suppressed > 0
+    # suppression never desynchronised the model from the holdings
+    assert controller.model.nalloc == controller.n_allocated
+
+
+def test_cooldown_zero_window_passes_everything_through():
+    os_ = OperatingSystem(small_numa())
+    inner = DryRunActuator(os_)
+    actuator = CooldownActuator(inner, cooldown_ticks=0)
+    actuator.seed([0])
+    assert actuator.apply(CoreDelta(allocate=(1,)))
+    assert actuator.apply(CoreDelta(allocate=(2,)))
+    assert actuator.suppressed == 0
+    assert actuator.n_allocated == 3
+
+
+def test_cooldown_window_then_reissue():
+    os_ = OperatingSystem(small_numa())
+    inner = DryRunActuator(os_)
+    actuator = CooldownActuator(inner, cooldown_ticks=2)
+    actuator.seed([0])
+    assert actuator.apply(CoreDelta(allocate=(1,)))          # tick 1
+    assert not actuator.apply(CoreDelta(allocate=(2,)))      # tick 2: hot
+    assert not actuator.apply(CoreDelta(allocate=(2,)))      # tick 3: hot
+    assert actuator.apply(CoreDelta(allocate=(2,)))          # tick 4: cold
+    assert actuator.suppressed == 2
+
+
+# ----------------------------------------------------------------------
+# two controllers, one machine
+# ----------------------------------------------------------------------
+
+def test_two_controllers_hold_disjoint_leases():
+    os_ = OperatingSystem(small_numa())
+    os_.create_tenant("left")
+    os_.create_tenant("right")
+    controllers = {}
+    for tenant in ("left", "right"):
+        _, controllers[tenant] = make_controller(os_=os_, tenant=tenant)
+        controllers[tenant].start()
+        os_.spawn_thread(scan_source(os_), tenant=tenant)
+        os_.spawn_thread(scan_source(os_), tenant=tenant)
+    os_.run_until_idle()
+    left = os_.inventory.mask_of("left")
+    right = os_.inventory.mask_of("right")
+    assert left and right and not left & right
+    os_.inventory.check()
+    assert controllers["left"].ticks > 0
+    assert controllers["right"].ticks > 0
+
+
+def test_tenant_threads_stay_inside_the_tenant_mask():
+    os_ = OperatingSystem(small_numa())
+    cpuset = os_.create_tenant("pinned")
+    os_.inventory.seed("pinned", [2, 3])
+    for _ in range(3):
+        os_.spawn_thread(scan_source(os_, cycles=2e8), tenant="pinned")
+    for _ in range(12):
+        os_.run(until=os_.now + 0.01)
+        for thread in os_.scheduler.threads:
+            if thread.tenant == "pinned" and thread.core is not None:
+                assert thread.core in cpuset.allowed()
+    os_.run_until_idle()
+
+
+def test_duplicate_tenant_registration_raises():
+    os_ = OperatingSystem(small_numa())
+    os_.create_tenant("dup")
+    with pytest.raises(LeaseError):
+        os_.create_tenant("dup")
+
+
+def test_duplicate_scheduler_mask_raises():
+    os_ = OperatingSystem(small_numa())
+    cpuset = os_.create_tenant("once")
+    with pytest.raises(SchedulerError):
+        os_.scheduler.register_tenant_mask("once", cpuset)
+
+
+def test_second_controller_seeds_off_the_first():
+    os_ = OperatingSystem(small_numa())
+    os_.create_tenant("first")
+    os_.create_tenant("second")
+    _, one = make_controller(os_=os_, tenant="first")
+    _, two = make_controller(os_=os_, tenant="second")
+    one.start()
+    two.start()
+    first = os_.inventory.mask_of("first")
+    second = os_.inventory.mask_of("second")
+    assert len(first) == 1 and len(second) == 1
+    assert not first & second

@@ -1,0 +1,77 @@
+"""Golden-trace regression: the control-plane stays bit-identical.
+
+The control-plane refactor (staged Sense -> Decide -> Plan -> Actuate
+pipeline, core-lease inventory) promises that single-tenant behaviour is
+preserved *exactly*: the deterministic trace a figure harness exports is
+byte-identical before and after.  These tests pin that promise: fixture
+traces under ``tests/fixtures/golden/`` were recorded on the pre-refactor
+controller, and every run of fig07 / fig16 must still serialise to the
+same bytes.
+
+Regenerate (only when a trace change is *intended* and reviewed)::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import fig07_state_transitions, fig16_migration_modes
+from repro.sim.export import dump_records, load_records
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "fixtures" / "golden"
+
+#: harness parameters are part of the fixture contract; change them only
+#: together with a regeneration
+FIG07_PARAMS = dict(repetitions=3, scale=0.01, sim_scale=1.0,
+                    mode="adaptive", idle_tail=0.2)
+FIG16_PARAMS = dict(repetitions=1, warmup=1, scale=0.01, sim_scale=1.0)
+
+_REGEN = os.environ.get("GOLDEN_REGEN") == "1"
+
+
+def _trace_bytes(records, tmp_path: pathlib.Path) -> bytes:
+    path = tmp_path / "trace.jsonl"
+    dump_records(records, path)
+    return path.read_bytes()
+
+
+def _check(records, fixture: pathlib.Path, tmp_path: pathlib.Path) -> None:
+    exported = _trace_bytes(records, tmp_path)
+    if _REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        fixture.write_bytes(exported)
+        pytest.skip(f"regenerated {fixture.name}")
+    if not fixture.exists():
+        pytest.fail(f"golden fixture {fixture} missing; "
+                    f"run with GOLDEN_REGEN=1 to record it")
+    golden = fixture.read_bytes()
+    if exported != golden:
+        # byte-compare first (the contract), then diff record-wise for a
+        # digestible failure message
+        new = records
+        old = load_records(fixture)
+        detail = f"{len(old)} golden vs {len(new)} exported records"
+        for i, (a, b) in enumerate(zip(old, new)):
+            if a != b:
+                detail += f"; first divergence at record {i}: {a} != {b}"
+                break
+        pytest.fail(f"{fixture.name}: exported trace diverged from the "
+                    f"golden fixture ({detail})")
+
+
+def test_fig07_trace_is_golden(tmp_path):
+    result = fig07_state_transitions.run(**FIG07_PARAMS)
+    assert result.records, "fig07 harness exported no records"
+    _check(result.records, GOLDEN_DIR / "fig07_trace.jsonl", tmp_path)
+
+
+def test_fig16_trace_is_golden(tmp_path):
+    result = fig16_migration_modes.run(**FIG16_PARAMS)
+    records = [r for cell in result.cells.values() for r in cell.records]
+    assert records, "fig16 harness exported no records"
+    _check(records, GOLDEN_DIR / "fig16_trace.jsonl", tmp_path)
