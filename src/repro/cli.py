@@ -107,9 +107,36 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="record telemetry and export it to DIR "
                           "(metrics.prom, metrics.jsonl, trace.json, "
                           "decisions.jsonl)")
+    run.add_argument("--parallel", type=int, default=1, metavar="N",
+                     help="fan independent experiment cells across N "
+                          "worker processes (results are identical to "
+                          "a serial run; experiments without a cell "
+                          "plan fall back to serial)")
     for option in _OPTION_SPECS:
         run.add_argument(f"--{option.replace('_', '-')}", dest=option,
                          default=None)
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-time the experiment suite and compare against the "
+             "committed baseline")
+    bench.add_argument("--quick", action="store_true",
+                       help="the 3-experiment CI smoke subset")
+    bench.add_argument("--experiments", default=None, metavar="A,B,C",
+                       help="comma-separated subset of the bench suite")
+    bench.add_argument("--parallel", type=int, default=0, metavar="N",
+                       help="also time the suite fanned across N worker "
+                            "processes and report the speedup")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="per-experiment score-regression tolerance "
+                            "vs the baseline (default 0.25 = 25%%)")
+    bench.add_argument("--output-dir", default=None, metavar="DIR",
+                       help="where to write/read BENCH_<rev>.json "
+                            "(default benchmarks/results)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="do not write a BENCH_<rev>.json snapshot")
+    bench.add_argument("--json", action="store_true",
+                       help="machine-readable snapshot on stdout")
 
     stats = sub.add_parser(
         "stats", help="summarise a recorded telemetry directory")
@@ -195,9 +222,24 @@ def _run_experiment(args: argparse.Namespace) -> str:
                 f"{args.experiment} does not accept --"
                 f"{option.replace('_', '-')}")
         kwargs[kwarg] = parse(raw)
+    note = ""
+    parallel = getattr(args, "parallel", 1) or 1
     telemetry = getattr(args, "telemetry", None)
+    if parallel > 1:
+        if parallel > 64:
+            raise ReproError("--parallel accepts at most 64 workers")
+        if telemetry is not None:
+            # telemetry hooks the process-wide recorder; worker
+            # processes would record into the void
+            note = ("note: --telemetry records in-process; running "
+                    "serially\n")
+        elif "parallel" not in runner.__code__.co_varnames:
+            note = (f"note: {args.experiment} has no parallel cell "
+                    f"plan; running serially\n")
+        else:
+            kwargs["parallel"] = parallel
     if telemetry is None:
-        return runner(**kwargs).table()
+        return note + runner(**kwargs).table()
     from .obs import Recorder, export_run, install, uninstall
 
     recorder = Recorder()
@@ -208,7 +250,44 @@ def _run_experiment(args: argparse.Namespace) -> str:
         uninstall()
     paths = export_run(recorder, telemetry)
     exported = "\n".join(f"  {p}" for p in paths.values())
-    return f"{result.table()}\n\ntelemetry written to:\n{exported}"
+    return f"{note}{result.table()}\n\ntelemetry written to:\n{exported}"
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from .runner import bench as bench_mod
+
+    names = None
+    if args.experiments is not None:
+        names = tuple(n.strip() for n in args.experiments.split(",")
+                      if n.strip())
+    out_dir = (Path(args.output_dir) if args.output_dir is not None
+               else bench_mod.RESULTS_DIR)
+    report = bench_mod.run_bench(names=names, quick=args.quick,
+                                 parallel=args.parallel)
+    if args.json:
+        import json
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.table())
+    if not args.no_write:
+        path = bench_mod.write_report(report, out_dir)
+        if not args.json:
+            print(f"snapshot written to {path}")
+    baseline = bench_mod.load_baseline(out_dir, exclude_rev=report.rev)
+    if baseline is None:
+        if not args.json:
+            print("no committed baseline to compare against "
+                  "(this snapshot becomes the first)")
+        return 0
+    table, regressions = report.compare(baseline,
+                                        tolerance=args.tolerance)
+    if not args.json:
+        print(table)
+    if regressions:
+        for message in regressions:
+            print(f"regression: {message}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_stats(args: argparse.Namespace) -> str:
@@ -380,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
             print(render_table(["experiment", "description"], rows))
         elif args.command == "run":
             print(_run_experiment(args))
+        elif args.command == "bench":
+            return _run_bench(args)
         elif args.command == "stats":
             print(_run_stats(args))
         elif args.command == "explain":

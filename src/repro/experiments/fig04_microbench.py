@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.report import render_table
 from ..db.clients import repeat_stream
+from ..errors import ReproError
 from ..opsys.system import OperatingSystem
 from ..sim.tracing import PlacementRecord, TraceRecorder
 from ..workloads.microbench import run_q6_kernel
@@ -96,18 +97,38 @@ def _run_engine_variant(users: int, repetitions: int, scale: float,
             sut.delta("ht_tx_bytes") / makespan / 1e6)
 
 
+def run_cell(variant: str, users: int, repetitions: int = 2,
+             scale: float = 0.01,
+             sim_scale: float = 1.0) -> tuple[float, float, float]:
+    """One (variant, users) cell: ``"<affinity>/C"`` or ``os/monetdb``."""
+    if variant == "os/monetdb":
+        return _run_engine_variant(users, repetitions, scale, sim_scale)
+    affinity = variant.removesuffix("/C")
+    if affinity not in C_VARIANTS or affinity == variant:
+        raise ReproError(f"unknown fig4 variant {variant!r}")
+    return _run_c_variant(affinity, users, repetitions, scale, sim_scale)
+
+
 def run(users: tuple[int, ...] = DEFAULT_USERS, repetitions: int = 2,
-        scale: float = 0.01, sim_scale: float = 1.0) -> Fig04Result:
-    """Run all four variants over the user sweep."""
+        scale: float = 0.01, sim_scale: float = 1.0,
+        parallel: int = 1) -> Fig04Result:
+    """Run all four variants over the user sweep.
+
+    Cells build independent systems, so ``parallel > 1`` fans them
+    across worker processes with an ordered merge.
+    """
+    from ..runner.pool import Task, run_tasks
+
     result = Fig04Result(users=users)
-    for affinity in C_VARIANTS:
-        variant = f"{affinity}/C"
-        result.series[variant] = {}
-        for n in users:
-            result.series[variant][n] = _run_c_variant(
-                affinity, n, repetitions, scale, sim_scale)
-    result.series["os/monetdb"] = {}
-    for n in users:
-        result.series["os/monetdb"][n] = _run_engine_variant(
-            n, repetitions, scale, sim_scale)
+    variants = [f"{affinity}/C" for affinity in C_VARIANTS]
+    variants.append("os/monetdb")
+    keys = [(variant, n) for variant in variants for n in users]
+    cells = run_tasks(
+        [Task("repro.experiments.fig04_microbench:run_cell",
+              dict(variant=variant, users=n, repetitions=repetitions,
+                   scale=scale, sim_scale=sim_scale))
+         for variant, n in keys],
+        parallel=parallel)
+    for (variant, n), cell in zip(keys, cells):
+        result.series.setdefault(variant, {})[n] = cell
     return result

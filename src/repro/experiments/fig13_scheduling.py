@@ -62,25 +62,44 @@ class Fig13Result:
             self.rows(), title="Fig 13 - thetasubselect vs concurrency")
 
 
+def run_cell(mode: str | None, users: int, repetitions: int = 4,
+             scale: float = 0.01, sim_scale: float = 1.0) -> Fig13Cell:
+    """One (mode, users) cell on a fresh system under test."""
+    sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                       sim_scale=sim_scale)
+    sut.mark()
+    workload = sut.run_clients(
+        users, repeat_stream(WORKLOAD_QUERY, repetitions))
+    makespan = max(workload.makespan, 1e-9)
+    n_cores = sut.os.topology.n_cores
+    cpu_load = 100.0 * sut.delta("busy_time") / (makespan * n_cores)
+    return Fig13Cell(
+        throughput=workload.throughput,
+        cpu_load=min(cpu_load, 100.0),
+        tasks=sut.delta("tasks"),
+        stolen_tasks=sut.delta("stolen_tasks"),
+    )
+
+
 def run(users: tuple[int, ...] = DEFAULT_USERS, repetitions: int = 4,
-        scale: float = 0.01, sim_scale: float = 1.0) -> Fig13Result:
-    """Sweep users for all four scheduling configurations."""
+        scale: float = 0.01, sim_scale: float = 1.0,
+        parallel: int = 1) -> Fig13Result:
+    """Sweep users for all four scheduling configurations.
+
+    Every cell is independent (fresh system per cell), so ``parallel > 1``
+    fans cells across worker processes; the ordered merge keeps the
+    result identical to a serial run.
+    """
+    from ..runner.pool import Task, run_tasks
+
     result = Fig13Result(users=users)
-    for mode in MODES:
-        for n in users:
-            sut = build_system(engine="monetdb", mode=mode, scale=scale,
-                               sim_scale=sim_scale)
-            sut.mark()
-            workload = sut.run_clients(
-                n, repeat_stream(WORKLOAD_QUERY, repetitions))
-            makespan = max(workload.makespan, 1e-9)
-            n_cores = sut.os.topology.n_cores
-            cpu_load = 100.0 * sut.delta("busy_time") \
-                / (makespan * n_cores)
-            result.cells[(mode or "OS", n)] = Fig13Cell(
-                throughput=workload.throughput,
-                cpu_load=min(cpu_load, 100.0),
-                tasks=sut.delta("tasks"),
-                stolen_tasks=sut.delta("stolen_tasks"),
-            )
+    keys = [(mode, n) for mode in MODES for n in users]
+    cells = run_tasks(
+        [Task("repro.experiments.fig13_scheduling:run_cell",
+              dict(mode=mode, users=n, repetitions=repetitions,
+                   scale=scale, sim_scale=sim_scale))
+         for mode, n in keys],
+        parallel=parallel)
+    for (mode, n), cell in zip(keys, cells):
+        result.cells[(mode or "OS", n)] = cell
     return result

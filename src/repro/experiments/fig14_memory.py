@@ -75,24 +75,40 @@ class Fig14Result:
             title=f"Fig 14 - memory metrics, {self.n_clients} clients")
 
 
+def run_cell(mode: str | None, n_clients: int = 32,
+             repetitions: int = 3, scale: float = 0.01,
+             sim_scale: float = 1.0) -> Fig14Cell:
+    """One mode's memory picture on a fresh system under test."""
+    sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                       sim_scale=sim_scale)
+    sut.mark()
+    workload = sut.run_clients(
+        n_clients, repeat_stream(WORKLOAD_QUERY, repetitions))
+    makespan = max(workload.makespan, 1e-9)
+    sockets = list(sut.os.topology.all_nodes())
+    return Fig14Cell(
+        l3_misses_by_socket={
+            s: sut.delta("l3_miss", s) for s in sockets},
+        mem_tp_by_socket={
+            s: sut.delta("imc_bytes", s) / makespan for s in sockets},
+        ht_traffic=sut.delta("ht_tx_bytes"),
+        makespan=makespan,
+    )
+
+
 def run(n_clients: int = 32, repetitions: int = 3, scale: float = 0.01,
-        sim_scale: float = 1.0) -> Fig14Result:
+        sim_scale: float = 1.0, parallel: int = 1) -> Fig14Result:
     """High-concurrency thetasubselect across the four configurations."""
+    from ..runner.pool import Task, run_tasks
+
     result = Fig14Result(n_clients=n_clients)
-    for mode in MODES:
-        sut = build_system(engine="monetdb", mode=mode, scale=scale,
-                           sim_scale=sim_scale)
-        sut.mark()
-        workload = sut.run_clients(
-            n_clients, repeat_stream(WORKLOAD_QUERY, repetitions))
-        makespan = max(workload.makespan, 1e-9)
-        sockets = list(sut.os.topology.all_nodes())
-        result.cells[mode or "OS"] = Fig14Cell(
-            l3_misses_by_socket={
-                s: sut.delta("l3_miss", s) for s in sockets},
-            mem_tp_by_socket={
-                s: sut.delta("imc_bytes", s) / makespan for s in sockets},
-            ht_traffic=sut.delta("ht_tx_bytes"),
-            makespan=makespan,
-        )
+    cells = run_tasks(
+        [Task("repro.experiments.fig14_memory:run_cell",
+              dict(mode=mode, n_clients=n_clients,
+                   repetitions=repetitions, scale=scale,
+                   sim_scale=sim_scale))
+         for mode in MODES],
+        parallel=parallel)
+    for mode, cell in zip(MODES, cells):
+        result.cells[mode or "OS"] = cell
     return result

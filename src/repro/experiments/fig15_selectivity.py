@@ -57,21 +57,34 @@ class Fig15Result:
                                    f"{self.n_clients} clients"))
 
 
+def run_cell(mode: str | None, level: float, n_clients: int = 16,
+             repetitions: int = 1, scale: float = 0.01,
+             sim_scale: float = 1.0) -> dict[int, float]:
+    """Per-socket L3 misses for one (mode, selectivity) cell."""
+    sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                       sim_scale=sim_scale)
+    sut.mark()
+    sut.run_clients(
+        n_clients, repeat_stream(selectivity_name(level), repetitions))
+    return {s: sut.delta("l3_miss", s)
+            for s in sut.os.topology.all_nodes()}
+
+
 def run(levels: tuple[float, ...] = SELECTIVITY_LEVELS,
         n_clients: int = 16, repetitions: int = 1, scale: float = 0.01,
-        sim_scale: float = 1.0) -> Fig15Result:
+        sim_scale: float = 1.0, parallel: int = 1) -> Fig15Result:
     """Sweep selectivity for each scheduling configuration."""
+    from ..runner.pool import Task, run_tasks
+
     result = Fig15Result(levels=levels, n_clients=n_clients)
-    for mode in MODES:
-        for level in levels:
-            sut = build_system(engine="monetdb", mode=mode, scale=scale,
-                               sim_scale=sim_scale)
-            sut.mark()
-            sut.run_clients(
-                n_clients,
-                repeat_stream(selectivity_name(level), repetitions))
-            result.misses[(mode or "OS", level)] = {
-                s: sut.delta("l3_miss", s)
-                for s in sut.os.topology.all_nodes()
-            }
+    keys = [(mode, level) for mode in MODES for level in levels]
+    cells = run_tasks(
+        [Task("repro.experiments.fig15_selectivity:run_cell",
+              dict(mode=mode, level=level, n_clients=n_clients,
+                   repetitions=repetitions, scale=scale,
+                   sim_scale=sim_scale))
+         for mode, level in keys],
+        parallel=parallel)
+    for (mode, level), by_socket in zip(keys, cells):
+        result.misses[(mode or "OS", level)] = by_socket
     return result

@@ -57,28 +57,46 @@ class Fig16Result:
             self.rows(), title="Fig 16 - single-client Q6 migration maps")
 
 
+def run_cell(mode: str | None, repetitions: int = 2, warmup: int = 4,
+             scale: float = 0.01, sim_scale: float = 1.0) -> Fig16Cell:
+    """Trace one configuration on a fresh system under test."""
+    sut = build_system(engine="monetdb", mode=mode, scale=scale,
+                       sim_scale=sim_scale, record_placements=True)
+    if warmup:
+        sut.run_clients(1, repeat_stream("q6", warmup))
+        sut.os.tracer.clear()
+    workload = sut.run_clients(1, repeat_stream("q6", repetitions))
+    timelines = collect_timelines(sut)
+    nodes = {node for t in timelines for node in t.nodes_visited}
+    return Fig16Cell(
+        timelines=timelines,
+        migrations=len(sut.os.tracer.of(MigrationRecord)),
+        nodes_used=len(nodes),
+        elapsed=workload.makespan,
+        records=tuple(sut.os.tracer.all()),
+    )
+
+
 def run(repetitions: int = 2, warmup: int = 4, scale: float = 0.01,
-        sim_scale: float = 1.0) -> Fig16Result:
+        sim_scale: float = 1.0, parallel: int = 1) -> Fig16Result:
     """Trace single-client Q6 under each configuration.
 
     ``warmup`` repetitions let the controller reach its steady allocation
-    before tracing starts (the paper's runs are similarly warm).
+    before tracing starts (the paper's runs are similarly warm).  Each
+    mode runs on its own freshly built system, so ``parallel > 1`` fans
+    the four configurations across worker processes; the ordered merge
+    keeps the exported trace records byte-identical to a serial run
+    (the golden-trace fixture pins this).
     """
+    from ..runner.pool import Task, run_tasks
+
     result = Fig16Result()
-    for mode in MODES:
-        sut = build_system(engine="monetdb", mode=mode, scale=scale,
-                           sim_scale=sim_scale, record_placements=True)
-        if warmup:
-            sut.run_clients(1, repeat_stream("q6", warmup))
-            sut.os.tracer.clear()
-        workload = sut.run_clients(1, repeat_stream("q6", repetitions))
-        timelines = collect_timelines(sut)
-        nodes = {node for t in timelines for node in t.nodes_visited}
-        result.cells[mode or "OS"] = Fig16Cell(
-            timelines=timelines,
-            migrations=len(sut.os.tracer.of(MigrationRecord)),
-            nodes_used=len(nodes),
-            elapsed=workload.makespan,
-            records=tuple(sut.os.tracer.all()),
-        )
+    cells = run_tasks(
+        [Task("repro.experiments.fig16_migration_modes:run_cell",
+              dict(mode=mode, repetitions=repetitions, warmup=warmup,
+                   scale=scale, sim_scale=sim_scale))
+         for mode in MODES],
+        parallel=parallel)
+    for mode, cell in zip(MODES, cells):
+        result.cells[mode or "OS"] = cell
     return result

@@ -78,18 +78,31 @@ def _measure(sut, repetitions: int, warmup: int) -> Fig17Cell:
     )
 
 
+def run_cell(mode: str | None, strategy: str = "cpu_load",
+             repetitions: int = 3, warmup: int = 5, scale: float = 0.01,
+             sim_scale: float = 1.0) -> Fig17Cell:
+    """One configuration cell; ``mode=None`` is the OS baseline."""
+    sut = build_system(engine="monetdb", mode=mode,
+                       strategy=strategy if mode else "cpu_load",
+                       scale=scale, sim_scale=sim_scale)
+    return _measure(sut, repetitions, warmup)
+
+
 def run(repetitions: int = 3, warmup: int = 5, scale: float = 0.01,
-        sim_scale: float = 1.0) -> Fig17Result:
+        sim_scale: float = 1.0, parallel: int = 1) -> Fig17Result:
     """Run the OS baseline plus each (mode, strategy) pair."""
+    from ..runner.pool import Task, run_tasks
+
     result = Fig17Result()
-    sut = build_system(engine="monetdb", mode=None, scale=scale,
-                       sim_scale=sim_scale)
-    result.cells[("OS", "-")] = _measure(sut, repetitions, warmup)
-    for strategy in STRATEGIES:
-        for mode in MODES:
-            sut = build_system(engine="monetdb", mode=mode,
-                               strategy=strategy, scale=scale,
-                               sim_scale=sim_scale)
-            result.cells[(mode, strategy)] = _measure(sut, repetitions,
-                                                      warmup)
+    keys: list[tuple[str | None, str]] = [(None, "-")]
+    keys.extend((mode, strategy) for strategy in STRATEGIES
+                for mode in MODES)
+    cells = run_tasks(
+        [Task("repro.experiments.fig17_strategies:run_cell",
+              dict(mode=mode, strategy=strategy, repetitions=repetitions,
+                   warmup=warmup, scale=scale, sim_scale=sim_scale))
+         for mode, strategy in keys],
+        parallel=parallel)
+    for (mode, strategy), cell in zip(keys, cells):
+        result.cells[(mode or "OS", strategy)] = cell
     return result

@@ -80,14 +80,41 @@ class TrialStats:
             title=f"Trials over seeds {list(self.seeds)}")
 
 
-def run_trials(runner: Callable[[int], object],
+def _call_runner(runner: Callable[[int], object] | str,
+                 seed: int) -> object:
+    """Worker entry point for one trial (resolves spec-string runners)."""
+    if isinstance(runner, str):
+        from ..runner.pool import resolve
+        runner = resolve(runner)
+    return runner(seed)
+
+
+def run_trials(runner: Callable[[int], object] | str,
                extract: Callable[[object], dict[str, float]],
-               seeds: Iterable[int] = (1, 2, 3, 4, 5)) -> TrialStats:
-    """Run ``runner(seed)`` per seed and aggregate ``extract(result)``."""
+               seeds: Iterable[int] = (1, 2, 3, 4, 5),
+               parallel: int = 1) -> TrialStats:
+    """Run ``runner(seed)`` per seed and aggregate ``extract(result)``.
+
+    Trials are independent by construction (the seed is the only input),
+    so ``parallel > 1`` fans them across worker processes; results merge
+    in seed order, so the statistics match a serial run exactly.  A
+    parallel ``runner`` must be picklable — a module-level function or,
+    for lambdas/closures, a ``"module:attr"`` spec string.
+    """
     seeds = tuple(seeds)
     if not seeds:
         raise ReproError("need at least one seed")
     stats = TrialStats(seeds=seeds)
+    if parallel > 1 and len(seeds) > 1:
+        from ..runner.pool import Task, run_tasks
+
+        results = run_tasks(
+            [Task("repro.experiments.trials:_call_runner",
+                  dict(runner=runner, seed=seed)) for seed in seeds],
+            parallel=parallel)
+        for result in results:
+            stats.add(extract(result))
+        return stats
     for seed in seeds:
-        stats.add(extract(runner(seed)))
+        stats.add(extract(_call_runner(runner, seed)))
     return stats

@@ -41,6 +41,10 @@ class SharedCache:
 
         A miss inserts the page, evicting the least recently used resident
         page when the cache is full.
+
+        .. note:: :meth:`repro.hardware.machine.Machine.touch` inlines this
+           probe (and the hit/miss/eviction accounting) in its fast path;
+           any behaviour change here must be mirrored there.
         """
         resident = self._resident
         if page in resident:

@@ -68,6 +68,30 @@ class Machine:
         lines = cfg.page_bytes / cfg.cache_line_bytes
         self._latency_per_page = (lines / cfg.memory_parallelism
                                   * cfg.dram_latency)
+        # --- touch() fast-path precomputation ------------------------------
+        # every page fetch moves exactly cfg.page_bytes, so bank and link
+        # reservation service times are loop invariants; remote paths also
+        # fix the hop count, the post-link store-and-forward extra and the
+        # hop-inflated requester latency per (home, socket) pair.  All
+        # values are computed with the same expressions the general-purpose
+        # FifoChannel/Interconnect paths use, so results stay bit-identical.
+        self._bank_service = cfg.page_bytes / cfg.dram_bandwidth
+        self._remote_paths: dict[tuple[int, int],
+                                 tuple[FifoChannel, float, float]] = {}
+        link_service = cfg.page_bytes / self.interconnect.link_bandwidth
+        for home in topology.all_nodes():
+            for socket in topology.all_nodes():
+                if home == socket:
+                    continue
+                hops = topology.distance(home, socket)
+                self._remote_paths[(home, socket)] = (
+                    self.interconnect.link(home, socket),
+                    (hops - 1) * (cfg.page_bytes
+                                  / self.interconnect.link_bandwidth)
+                    if hops > 1 else 0.0,
+                    self._latency_per_page * (cfg.remote_penalty ** hops),
+                )
+        self._link_service = link_service
 
     def bank_backlog(self, node: int, now: float) -> float:
         """Seconds of reserved work queued at one bank."""
@@ -91,48 +115,88 @@ class Machine:
         """
         socket = self.topology.node_of_core(core_id)
         cache = self.caches[socket]
-        memory = self.memory
-        page_bytes = memory.page_bytes
-        config = self.config
+        page_bytes = self.memory.page_bytes
+
+        # The loop below is the hottest code in the simulator.  It is the
+        # seed implementation with every per-page function call flattened
+        # into locals: the L3 LRU probe mirrors SharedCache.access, the
+        # bank/link reservations mirror FifoChannel.reserve with the
+        # loop-invariant service times precomputed in __init__, and the
+        # remote hop latency comes from the per-pair table.  Float
+        # operations keep their exact order, so traces stay bit-identical.
+        resident = cache._resident
+        move_to_end = resident.move_to_end
+        popitem = resident.popitem
+        capacity = cache.capacity_pages
+        home_of = self.memory._home.get
+        banks = self.banks
+        remote_paths = self._remote_paths
+        bank_service = self._bank_service
+        link_service = self._link_service
+        latency_per_page = self._latency_per_page
 
         latency_stall = 0.0
         batch_done = now
         hits = 0
+        evictions = 0
         remote_misses = 0
         bytes_local = 0
         bytes_remote = 0
+        imc_pages: dict[int, int] = {}
 
         for page in pages:
-            if cache.access(page):
+            if page in resident:
+                move_to_end(page)
                 hits += 1
                 continue
-            home = memory.home(page)
+            if len(resident) >= capacity:
+                popitem(last=False)
+                evictions += 1
+            resident[page] = None
+            home = home_of(page, UNPLACED)
             if home == UNPLACED:
                 raise HardwareError(
                     f"page {page} touched before first-touch placement")
-            self.counters.add("imc_bytes", home, page_bytes)
-            bank_done = self.banks[home].reserve(now, page_bytes)
+            imc_pages[home] = imc_pages.get(home, 0) + 1
+            bank = banks[home]
+            free = bank._free_at
+            bank_done = ((now if now > free else free)
+                         + bank_service)
+            bank._free_at = bank_done
             if home == socket:
                 bytes_local += page_bytes
                 done = bank_done
-                latency_stall += self._latency_per_page
+                latency_stall += latency_per_page
             else:
                 bytes_remote += page_bytes
                 remote_misses += 1
-                hops = self.topology.distance(home, socket)
                 # remote miss: read from the home bank, cross the fabric,
                 # and stall the requester for the extra line latency
-                done = self.interconnect.transfer(
-                    bank_done, home, socket, page_bytes)
-                latency_stall += (self._latency_per_page
-                                  * (config.remote_penalty ** hops))
+                link, extra, remote_latency = remote_paths[(home, socket)]
+                link_free = link._free_at
+                done = ((bank_done if bank_done > link_free
+                         else link_free) + link_service)
+                link._free_at = done
+                if extra:
+                    done += extra
+                latency_stall += remote_latency
             if done > batch_done:
                 batch_done = done
         stall = (batch_done - now) + latency_stall
 
         misses = len(pages) - hits
-        self.counters.add("l3_hit", socket, hits)
-        self.counters.add("l3_miss", socket, misses)
+        counters = self.counters
+        cache.hits += hits
+        cache.misses += misses
+        cache.evictions += evictions
+        for home, n_pages in imc_pages.items():
+            counters.add("imc_bytes", home, n_pages * page_bytes)
+            if home != socket:
+                # outbound link traffic, attributed to the sending node
+                # exactly as Interconnect.transfer does
+                counters.add("ht_tx_bytes", home, n_pages * page_bytes)
+        counters.add("l3_hit", socket, hits)
+        counters.add("l3_miss", socket, misses)
         return AccessResult(
             stall_time=stall,
             hits=hits,
@@ -151,7 +215,7 @@ class Machine:
         counted per victim socket as ``l3_invalidations``."""
         socket = self.topology.node_of_core(core_id)
         for other, cache in enumerate(self.caches):
-            if other == socket:
+            if other == socket or not cache._resident:
                 continue
             dropped = cache.invalidate(pages)
             if dropped:

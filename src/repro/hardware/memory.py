@@ -13,7 +13,7 @@ the shared :class:`~repro.hardware.counters.CounterBank`, wired in by
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from ..errors import HardwareError
 from .topology import Topology
@@ -61,6 +61,38 @@ class MemorySystem:
             raise HardwareError(f"memory bank of node {node} is full")
         self._home[page] = node
         self._pages_per_node[node] += 1
+
+    def place_batch(self, pages: Sequence[int], node: int) -> None:
+        """Assign every page in ``pages`` a home node in one pass.
+
+        The bulk first-touch path: a whole batch of fresh pages lands on
+        one node, so the node-range and bank-capacity checks run once for
+        the batch instead of once per page (a bad batch therefore raises
+        *before* any page is placed).  The per-page allocation and
+        double-placement checks of :meth:`place` still apply; duplicates
+        inside ``pages`` are rejected as double placements.
+        """
+        if not 0 <= node < self.topology.n_sockets:
+            raise HardwareError(f"node {node} out of range")
+        if self._pages_per_node[node] + len(pages) > self.bank_pages:
+            raise HardwareError(f"memory bank of node {node} is full")
+        home = self._home
+        next_page = self._next_page
+        placed = 0
+        try:
+            for page in pages:
+                if not 0 <= page < next_page:
+                    raise HardwareError(
+                        f"page {page} was never allocated")
+                if page in home:
+                    raise HardwareError(f"page {page} already placed")
+                home[page] = node
+                placed += 1
+        finally:
+            # a bad page aborts the batch mid-way (same as per-page
+            # placement would); the occupancy count must still cover
+            # what did land
+            self._pages_per_node[node] += placed
 
     def home(self, page: int) -> int:
         """Home node of ``page``, or :data:`UNPLACED` when not yet touched."""

@@ -17,7 +17,14 @@ from ..errors import AllocationError
 
 
 class CpuSet:
-    """A mutable set of allowed core ids with change notification."""
+    """A mutable set of allowed core ids with change notification.
+
+    Masks change rarely (controller ticks) but are *read* on every
+    placement and balancing decision, so the set is shadowed by an int
+    bitmask and a cached sorted tuple: membership is one bit test and
+    ordered iteration allocates nothing.  Both caches are rebuilt only
+    when the mask actually changes.
+    """
 
     def __init__(self, n_cores: int, initial: Iterable[int] | None = None):
         if n_cores < 1:
@@ -31,7 +38,14 @@ class CpuSet:
         if not allowed:
             raise AllocationError("initial mask cannot be empty")
         self._allowed = allowed
+        self._rebuild_caches()
         self._listeners: list[Callable[[set[int], set[int]], None]] = []
+
+    def _rebuild_caches(self) -> None:
+        self._sorted: tuple[int, ...] = tuple(sorted(self._allowed))
+        self._mask = 0
+        for core in self._allowed:
+            self._mask |= 1 << core
 
     def _check_cores(self, cores: Iterable[int]) -> None:
         for core in cores:
@@ -51,15 +65,28 @@ class CpuSet:
 
     def is_allowed(self, core: int) -> bool:
         """Whether ``core`` is currently exposed to the OS."""
-        return core in self._allowed
+        return bool(self._mask >> core & 1)
 
     def allowed(self) -> frozenset[int]:
         """The current mask."""
         return frozenset(self._allowed)
 
+    def allowed_mask(self) -> int:
+        """The current mask as an int bitmask (bit ``c`` = core ``c``)."""
+        return self._mask
+
+    def allowed_tuple(self) -> tuple[int, ...]:
+        """The current mask, sorted, as a shared immutable tuple.
+
+        This is the zero-allocation read path: the tuple is rebuilt only
+        on mask changes, so hot callers may iterate it directly (but must
+        not hold it across a mask change they care about).
+        """
+        return self._sorted
+
     def allowed_sorted(self) -> list[int]:
         """The current mask as a sorted list (stable iteration order)."""
-        return sorted(self._allowed)
+        return list(self._sorted)
 
     def __len__(self) -> int:
         return len(self._allowed)
@@ -73,6 +100,7 @@ class CpuSet:
         if core in self._allowed:
             raise AllocationError(f"core {core} is already allocated")
         self._allowed.add(core)
+        self._rebuild_caches()
         self._notify({core}, set())
 
     def disallow(self, core: int) -> None:
@@ -82,6 +110,7 @@ class CpuSet:
         if len(self._allowed) == 1:
             raise AllocationError("cannot release the last core")
         self._allowed.discard(core)
+        self._rebuild_caches()
         self._notify(set(), {core})
 
     def set_mask(self, cores: Iterable[int]) -> None:
@@ -93,4 +122,5 @@ class CpuSet:
         added = new - self._allowed
         removed = self._allowed - new
         self._allowed = new
+        self._rebuild_caches()
         self._notify(added, removed)

@@ -73,6 +73,9 @@ class LoadSampler:
         self.machine = machine
         self.cpuset = cpuset
         self._previous: CounterSnapshot | None = None
+        #: the core list never changes for one machine; computed once so
+        #: every monitoring tick skips the topology walk
+        self._cores: tuple[int, ...] = tuple(machine.topology.all_cores())
 
     def prime(self, now: float) -> None:
         """Take the initial snapshot without producing a sample."""
@@ -83,28 +86,35 @@ class LoadSampler:
         current = self.machine.counters.snapshot(now)
         previous = self._previous
         self._previous = current
-        cores = self.machine.topology.all_cores()
+        cores = self._cores
         if previous is None or current.time <= previous.time:
             window = 0.0
             busy = {c: 0.0 for c in cores}
             useful = {c: 0.0 for c in cores}
         else:
             window = current.time - previous.time
+            # the per-core deltas, read straight off the snapshot value
+            # maps (same arithmetic as CounterSnapshot.delta, minus two
+            # method calls per core per tick)
+            cur_get = current._values.get
+            prev_get = previous._values.get
             busy = {}
             useful = {}
             for core in cores:
                 busy[core] = min(
                     100.0,
-                    100.0 * current.delta(previous, "busy_time", core)
+                    100.0 * (cur_get(("busy_time", core), 0.0)
+                             - prev_get(("busy_time", core), 0.0))
                     / window)
                 useful[core] = min(
                     100.0,
-                    100.0 * current.delta(previous, "useful_time", core)
+                    100.0 * (cur_get(("useful_time", core), 0.0)
+                             - prev_get(("useful_time", core), 0.0))
                     / window)
         return LoadSample(
             time=now,
             window=window,
             per_core_busy=busy,
             per_core_useful=useful,
-            allocated_cores=tuple(self.cpuset.allowed_sorted()),
+            allocated_cores=self.cpuset.allowed_tuple(),
         )

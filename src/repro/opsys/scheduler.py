@@ -22,7 +22,7 @@ from collections import deque
 
 from ..config import SchedulerConfig
 from ..errors import SchedulerError
-from ..hardware.machine import Machine
+from ..hardware.machine import AccessResult, Machine
 from ..obs.metrics import TIME_BUCKETS
 from ..obs.recorder import NULL_RECORDER
 from ..sim.engine import Simulator
@@ -36,9 +36,12 @@ from .workitem import WorkItem
 
 
 def _merge_access(a, b):
-    """Combine two AccessResults from one chunk (reads then writes)."""
-    from ..hardware.machine import AccessResult
+    """Combine two AccessResults from one chunk (reads then writes).
 
+    Kept for API compatibility and tests; the scheduler's own chunk path
+    (:meth:`Scheduler._execute`) sums the fields it needs directly and
+    never allocates the merged object.
+    """
     return AccessResult(
         stall_time=a.stall_time + b.stall_time,
         hits=a.hits + b.hits,
@@ -82,11 +85,22 @@ class Scheduler:
                                                 for _ in range(n_cores)]
         self._running: list[SimThread | None] = [None] * n_cores
         self._last_ran: list[SimThread | None] = [None] * n_cores
+        #: incrementally maintained per-core load: queue length plus the
+        #: running thread.  Kept exact at every queue/running mutation so
+        #: placement and balancing never recount queues.
+        self._load: list[int] = [0] * n_cores
+        #: node id per core, precomputed (topology lookups validate the
+        #: core id on every call; the scheduler's loops do not need that)
+        self._node_of: list[int] = [
+            machine.topology.node_of_core(c)
+            for c in machine.topology.all_cores()]
         self._live_threads = 0
         #: live (admitted, not yet exited) threads — the PID table the
         #: adaptive mode's priority queue walks
         self.threads: set[SimThread] = set()
         self._balance_scheduled = False
+        #: the balancer's recycled timer cell (see Simulator.reschedule)
+        self._balance_event = None
         # precompute per-page time estimate pieces for chunk sizing
         cfg = machine.config
         self._freq = cfg.frequency_hz
@@ -138,8 +152,8 @@ class Scheduler:
         return sum(1 for t in self.threads if t.tenant == tenant)
 
     def core_load(self, core: int) -> int:
-        """Queue length of ``core`` including the running thread."""
-        return len(self._queues[core]) + (self._running[core] is not None)
+        """Queue length of ``core`` including the running thread.  O(1)."""
+        return self._load[core]
 
     def runnable_threads(self, tenant: str | None = None) -> int:
         """Ready or running threads across all cores.
@@ -147,8 +161,7 @@ class Scheduler:
         With ``tenant`` given, only that tenant's threads are counted.
         """
         if tenant is None:
-            return sum(len(q) for q in self._queues) + sum(
-                1 for t in self._running if t is not None)
+            return sum(self._load)
         return (sum(1 for q in self._queues
                     for t in q if t.tenant == tenant)
                 + sum(1 for t in self._running
@@ -192,12 +205,14 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _choose_core(self, thread: SimThread) -> int:
+        load = self._load
+        node_of = self._node_of
         mask = self._mask_for(thread)
         if mask is not None:
-            allowed = mask.allowed_sorted()
+            allowed = mask.allowed_tuple()
         else:
             # other applications are not confined by any DB cgroup
-            allowed = list(self.machine.topology.all_cores())
+            allowed = self.machine.topology.all_cores()
         # historical quirk, kept deliberately: an *unmanaged* pinned
         # thread is still guarded by the default tenant's mask here
         guard = mask if mask is not None else self.cpuset
@@ -205,9 +220,8 @@ class Scheduler:
             if guard.is_allowed(thread.pinned_core):
                 return thread.pinned_core
             # pinned core was released: prefer a sibling on the same node
-            node = self.machine.topology.node_of_core(thread.pinned_core)
-            siblings = [c for c in allowed
-                        if self.machine.topology.node_of_core(c) == node]
+            node = node_of[thread.pinned_core]
+            siblings = [c for c in allowed if node_of[c] == node]
             if siblings:
                 allowed = siblings
         elif thread.pinned_node is not None:
@@ -216,11 +230,10 @@ class Scheduler:
             # of the mask ("less effort to maintain coherence of such
             # association" under a shrunken mask, paper §V-C1)
             siblings = [c for c in allowed
-                        if self.machine.topology.node_of_core(c)
-                        == thread.pinned_node]
+                        if node_of[c] == thread.pinned_node]
             if siblings:
-                best_local = min(self.core_load(c) for c in siblings)
-                best_global = min(self.core_load(c) for c in allowed)
+                best_local = min(load[c] for c in siblings)
+                best_global = min(load[c] for c in allowed)
                 congested = (best_local
                              >= best_global
                              + self.config.imbalance_threshold)
@@ -229,11 +242,12 @@ class Scheduler:
         elif not self.config.wakeup_spread and thread.core is not None:
             if guard.is_allowed(thread.core):
                 return thread.core
-        return min(allowed, key=lambda c: (self.core_load(c), c))
+        return min(allowed, key=lambda c: (load[c], c))
 
     def _enqueue(self, thread: SimThread, core: int) -> None:
         thread.core = core
         self._queues[core].append(thread)
+        self._load[core] += 1
         self._dispatch(core)
 
     # ------------------------------------------------------------------
@@ -244,8 +258,10 @@ class Scheduler:
         if self._running[core] is not None:
             return
         queue = self._queues[core]
+        load = self._load
         while queue:
             thread = queue.popleft()
+            load[core] -= 1
             item = thread.acquire_item()
             if item is None:
                 if thread.source.finished:
@@ -266,11 +282,12 @@ class Scheduler:
         may not pull that tenant's threads (but may pull unmanaged
         ones — other applications)."""
         topo = self.machine.topology
-        my_node = topo.node_of_core(core)
+        my_node = self._node_of[core]
+        queues = self._queues
         donors = sorted((c for c in topo.all_cores() if c != core),
-                        key=lambda c: -len(self._queues[c]))
+                        key=lambda c: -len(queues[c]))
         for donor in donors:
-            queue = self._queues[donor]
+            queue = queues[donor]
             if not queue:
                 break
             cross_node_ok = (len(queue)
@@ -285,10 +302,12 @@ class Scheduler:
                     if not same_node and not cross_node_ok:
                         continue
                 queue.remove(thread)
+                self._load[donor] -= 1
                 self.machine.counters.increment("stolen_tasks", core)
                 self._note_migration(thread, donor, core, stolen=True)
                 thread.core = core
-                self._queues[core].append(thread)
+                queues[core].append(thread)
+                self._load[core] += 1
                 self._dispatch(core)
                 return
 
@@ -298,6 +317,7 @@ class Scheduler:
         thread.core = core
         thread.dispatches += 1
         self._running[core] = thread
+        self._load[core] += 1
         self._c_dispatches.inc()
         self.machine.counters.increment("tasks", core)
         if self._last_ran[core] is not thread:
@@ -309,7 +329,7 @@ class Scheduler:
             thread._last_placed_core = core
             self.tracer.emit(PlacementRecord(
                 time=self.sim.now, thread_id=thread.tid, core_id=core,
-                node_id=self.machine.topology.node_of_core(core)))
+                node_id=self._node_of[core]))
         elapsed, useful = self._execute(thread, item, core)
         self.sim.schedule(elapsed, self._chunk_done, core, thread, item,
                           elapsed, useful)
@@ -324,15 +344,20 @@ class Scheduler:
         controller's load metric.
         """
         machine = self.machine
-        node = machine.topology.node_of_core(core)
-        budget = self.config.quantum
+        node = self._node_of[core]
+        config = self.config
+        budget = config.quantum
+        minor_fault_cost = config.minor_fault_cost
+        freq = self._freq
+        touch = machine.touch
+        touch_pages = self.vm.touch_pages
         now = self.sim.now
         elapsed = thread.pending_stall
         useful = 0.0
         thread.pending_stall = 0.0
 
         cpp = item.cycles_per_page()
-        page_time_est = cpp / self._freq + self._page_stream_time
+        page_time_est = cpp / freq + self._page_stream_time
         # guarantee progress: even when carried-over stalls (migration,
         # context switch) exceed the quantum, the chunk still retires at
         # least one slice of work — otherwise two threads alternating on
@@ -345,40 +370,58 @@ class Scheduler:
                 want = min(max(want, 1), item.remaining_pages)
                 batch = list(item.take_reads(want))
                 writes_from = len(batch)
-                if len(batch) < want:
-                    batch.extend(item.take_writes(want - len(batch)))
-                faults = self.vm.touch_pages(batch, node, thread)
-                if writes_from < len(batch):
-                    read_result = (
-                        machine.touch(now, core, batch[:writes_from])
-                        if writes_from else None)
+                if writes_from < want:
+                    batch.extend(item.take_writes(want - writes_from))
+                faults = touch_pages(batch, node, thread)
+                n_batch = len(batch)
+                if writes_from < n_batch:
+                    # reads then writes, summed field-by-field — the same
+                    # arithmetic _merge_access performs, minus the
+                    # AccessResult allocation per chunk
+                    read_result = (touch(now, core, batch[:writes_from])
+                                   if writes_from else None)
                     write_result = machine.touch_write(
                         now, core, batch[writes_from:])
-                    result = (write_result if read_result is None
-                              else _merge_access(read_result,
-                                                 write_result))
+                    if read_result is None:
+                        stall = write_result.stall_time
+                        misses = write_result.misses
+                        bytes_local = write_result.bytes_local
+                        bytes_remote = write_result.bytes_remote
+                    else:
+                        stall = (read_result.stall_time
+                                 + write_result.stall_time)
+                        misses = (read_result.misses
+                                  + write_result.misses)
+                        bytes_local = (read_result.bytes_local
+                                       + write_result.bytes_local)
+                        bytes_remote = (read_result.bytes_remote
+                                        + write_result.bytes_remote)
                 else:
-                    result = machine.touch(now, core, batch)
-                item.retire_cycles(len(batch) * cpp)
-                compute = len(batch) * cpp / self._freq
+                    result = touch(now, core, batch)
+                    stall = result.stall_time
+                    misses = result.misses
+                    bytes_local = result.bytes_local
+                    bytes_remote = result.bytes_remote
+                item.retire_cycles(n_batch * cpp)
+                compute = n_batch * cpp / freq
                 useful += compute
-                elapsed += (result.stall_time + compute
-                            + faults * self.config.minor_fault_cost)
+                elapsed += (stall + compute
+                            + faults * minor_fault_cost)
                 if item.query_name:
                     counters = machine.counters
                     counters.add("query_ht_bytes", item.query_name,
-                                 result.bytes_remote)
+                                 bytes_remote)
                     counters.add("query_imc_bytes", item.query_name,
-                                 result.bytes_total)
+                                 bytes_local + bytes_remote)
                     counters.add("query_l3_miss", item.query_name,
-                                 result.misses)
+                                 misses)
             else:
                 # trailing (or pure) compute
-                need = item.remaining_cycles / self._freq
+                need = item.remaining_cycles / freq
                 run = min(need, max(budget - elapsed, budget * 0.25))
                 if run <= 0:
                     break
-                item.retire_cycles(run * self._freq + 1e-3)
+                item.retire_cycles(run * freq + 1e-3)
                 useful += run
                 elapsed += run
         # floats: make sure an item with no pages left ends cleanly
@@ -395,6 +438,7 @@ class Scheduler:
             self.machine.counters.add("query_busy_time", item.query_name,
                                       elapsed)
         self._running[core] = None
+        self._load[core] -= 1
         if item.done:
             thread.current_item = None
             if item.started_at is not None:
@@ -419,6 +463,7 @@ class Scheduler:
             target = self._choose_core(thread)
             self._note_migration(thread, core, target, stolen=False)
         self._queues[target].append(thread)
+        self._load[target] += 1
         thread.core = target
         if target != core:
             self._dispatch(target)
@@ -447,7 +492,14 @@ class Scheduler:
     def _ensure_balancer(self) -> None:
         if not self._balance_scheduled:
             self._balance_scheduled = True
-            self.sim.schedule(self.config.balance_interval, self._balance)
+            if self._balance_event is None:
+                self._balance_event = self.sim.schedule(
+                    self.config.balance_interval, self._balance)
+            else:
+                # re-arm the recycled timer cell: same ordering semantics
+                # as a fresh schedule(), no Event allocation per tick
+                self.sim.reschedule(self._balance_event,
+                                    self.config.balance_interval)
 
     def _balance(self) -> None:
         self._balance_scheduled = False
@@ -456,8 +508,9 @@ class Scheduler:
         # one balancing domain per tenant mask (cgroups semantics: the
         # kernel balances within each cpuset); with a single tenant this
         # is exactly the legacy machine-wide pass
+        node_of = self._node_of
         for mask in self._tenant_masks.values():
-            allowed = mask.allowed_sorted()
+            allowed = mask.allowed_tuple()
             if len(allowed) <= 1:
                 continue
             for _ in range(len(allowed)):
@@ -466,8 +519,7 @@ class Scheduler:
             # second pass: node-affined threads may move within their node
             for node in self.machine.topology.all_nodes():
                 siblings = [c for c in allowed
-                            if self.machine.topology.node_of_core(c)
-                            == node]
+                            if node_of[c] == node]
                 if len(siblings) > 1:
                     for _ in range(len(siblings)):
                         if not self._steal_within_node(node, siblings):
@@ -495,14 +547,16 @@ class Scheduler:
         if victim is None:
             return False
         queue.remove(victim)
+        self._load[busiest] -= 1
         self.machine.counters.increment("stolen_tasks", idlest)
         self._note_migration(victim, busiest, idlest, stolen=True)
         victim.core = idlest
         self._queues[idlest].append(victim)
+        self._load[idlest] += 1
         self._dispatch(idlest)
         return True
 
-    def _steal_once(self, allowed: list[int]) -> bool:
+    def _steal_once(self, allowed) -> bool:
         donors = [c for c in allowed
                   if any(not t.is_pinned() for t in self._queues[c])]
         if not donors:
@@ -522,10 +576,12 @@ class Scheduler:
         if victim is None:
             return False
         queue.remove(victim)
+        self._load[busiest] -= 1
         self.machine.counters.increment("stolen_tasks", idlest)
         self._note_migration(victim, busiest, idlest, stolen=True)
         victim.core = idlest
         self._queues[idlest].append(victim)
+        self._load[idlest] += 1
         self._dispatch(idlest)
         return True
 
@@ -544,6 +600,7 @@ class Scheduler:
             self._c_evictions.inc(len(evicted))
             for thread in evicted:
                 queue.remove(thread)
+                self._load[core] -= 1
             for thread in evicted:
                 target = self._choose_core(thread)
                 self._note_migration(thread, core, target, stolen=False)

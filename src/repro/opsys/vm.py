@@ -52,24 +52,40 @@ class VirtualMemory:
         """
         memory = self.machine.memory
         mapped_by = self._mapped_by
+        mapped_get = mapped_by.get
+        # the per-page home probe is the hottest dict read in the system;
+        # go straight at the home map (never rebound by MemorySystem)
+        home_get = memory._home.get
         mask = 1 << node
         faults = 0
+        to_place: list[int] = []
         for page in pages:
-            seen = mapped_by.get(page, 0)
+            seen = mapped_get(page, 0)
             if seen & mask:
                 continue
             mapped_by[page] = seen | mask
             faults += 1
-            if memory.home(page) == UNPLACED:
-                memory.place(page, node)
+            if home_get(page, UNPLACED) == UNPLACED:
+                to_place.append(page)
+        if to_place:
+            # first-touch placements flush in one batch (only first
+            # occurrences queue, so the batch is duplicate-free)
+            memory.place_batch(to_place, node)
+        if thread is not None:
+            # the thread's per-node residency histogram (adaptive mode's
+            # priority-queue input), read after the flush so pages
+            # first-touched above are already counted on ``node`` —
+            # exactly what the place-per-page implementation saw
+            histogram: dict[int, int] = {}
+            hist_get = histogram.get
+            for page in pages:
+                home = home_get(page, UNPLACED)
+                if home >= 0:
+                    histogram[home] = hist_get(home, 0) + 1
+            for home, count in histogram.items():
+                thread.note_pages(home, count)
         if faults:
             self.counters.add("minor_faults", node, faults)
-        if thread is not None:
-            # feed the thread's address-space histogram (adaptive mode's
-            # priority-queue input): count this access batch by home node
-            for home, count in memory.pages_of(pages).items():
-                if home >= 0:
-                    thread.note_pages(home, count)
         if self.numa_balancing:
             self._autonuma(pages, node)
         return faults

@@ -28,7 +28,7 @@ class WorkItem:
     __slots__ = (
         "label", "reads", "writes", "cycles", "fixed_cycles", "query_name",
         "on_complete", "_read_pos", "_write_pos", "_cycles_done",
-        "started_at", "extra_stall",
+        "started_at", "extra_stall", "_total_pages", "_total_cycles",
     )
 
     def __init__(self, label: str,
@@ -50,6 +50,11 @@ class WorkItem:
         self._read_pos = 0
         self._write_pos = 0
         self._cycles_done = 0.0
+        # page footprint and cycle budget are fixed at construction; the
+        # scheduler polls remaining_pages/done every execution slice, so
+        # both totals are cached rather than recomputed per poll
+        self._total_pages = len(reads) + len(writes)
+        self._total_cycles = self.cycles + self.fixed_cycles
         #: set by the scheduler on first dispatch (for Tomograph records)
         self.started_at: float | None = None
         #: one-shot extra stall charged on next chunk (migration cost)
@@ -58,33 +63,34 @@ class WorkItem:
     @property
     def total_pages(self) -> int:
         """Input plus output page count."""
-        return len(self.reads) + len(self.writes)
+        return self._total_pages
 
     @property
     def total_cycles(self) -> float:
         """All compute cycles the item will retire."""
-        return self.cycles + self.fixed_cycles
+        return self._total_cycles
 
     @property
     def remaining_pages(self) -> int:
         """Pages not yet streamed."""
-        return self.total_pages - self._read_pos - self._write_pos
+        return self._total_pages - self._read_pos - self._write_pos
 
     @property
     def remaining_cycles(self) -> float:
         """Cycles not yet retired."""
-        return self.total_cycles - self._cycles_done
+        return self._total_cycles - self._cycles_done
 
     @property
     def done(self) -> bool:
         """Whether the item has fully executed."""
-        return self.remaining_pages == 0 and self.remaining_cycles <= 1e-6
+        return (self._total_pages - self._read_pos - self._write_pos == 0
+                and self._total_cycles - self._cycles_done <= 1e-6)
 
     def cycles_per_page(self) -> float:
         """Variable compute cost attributed to each page."""
-        if self.total_pages == 0:
+        if self._total_pages == 0:
             return 0.0
-        return self.cycles / self.total_pages
+        return self.cycles / self._total_pages
 
     def take_reads(self, n: int) -> Sequence[int]:
         """Consume up to ``n`` unread input pages."""

@@ -1,0 +1,29 @@
+"""Parallel experiment runner: process fan-out and the benchmark harness.
+
+Every figure harness is a sweep of independent *cells* — each cell builds
+its own machine, OS and engine from scratch (:func:`build_system` resets
+thread ids per cell), runs one configuration and returns a plain result
+record.  Cells therefore parallelise embarrassingly: :mod:`.pool` fans
+them across spawn-safe worker processes and merges results in submission
+order, so a parallel run is bit-identical to the serial one.
+
+:mod:`.bench` wall-times the experiment suite (``repro bench``), writes a
+``BENCH_<rev>.json`` snapshot under ``benchmarks/results/`` and compares
+against the last committed baseline — the CI regression gate for the
+simulation kernel's fast path.
+"""
+
+from .bench import (BENCH_SUITE, QUICK_SUITE, BenchReport, load_baseline,
+                    run_bench)
+from .pool import Task, resolve, run_tasks
+
+__all__ = [
+    "Task",
+    "resolve",
+    "run_tasks",
+    "BENCH_SUITE",
+    "QUICK_SUITE",
+    "BenchReport",
+    "load_baseline",
+    "run_bench",
+]

@@ -1,0 +1,287 @@
+"""``repro bench`` — wall-clock the experiment suite, keep a baseline.
+
+The harness times a fixed set of figure experiments (small, pinned
+parameterisations — the *bench suite*), normalises each wall time by a
+calibration loop run on the same interpreter (so scores transfer across
+machines of different speeds), and writes the snapshot to
+``benchmarks/results/BENCH_<rev>.json``.
+
+The latest *committed* snapshot acts as the regression baseline: CI runs
+``repro bench --quick`` and fails when any experiment's normalised score
+regresses by more than the tolerance (default 25 %).  With
+``--parallel N`` the suite is additionally fanned across worker
+processes (one experiment per worker) and the serial/parallel speedup is
+reported and recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.report import render_table
+from ..errors import ReproError
+from .pool import Task, resolve, run_tasks
+
+#: the benchmark parameterisations.  Small enough for CI, large enough to
+#: exercise the scheduler, the controller and the memory system; pinned
+#: so scores stay comparable across revisions.
+BENCH_SUITE: dict[str, tuple[str, dict]] = {
+    "fig4": ("repro.experiments.fig04_microbench:run",
+             dict(users=(1, 4, 16), repetitions=2)),
+    "fig7": ("repro.experiments.fig07_state_transitions:run",
+             dict(repetitions=6)),
+    "fig13": ("repro.experiments.fig13_scheduling:run",
+              dict(users=(1, 4, 16), repetitions=2)),
+    "fig14": ("repro.experiments.fig14_memory:run",
+              dict(n_clients=16, repetitions=2)),
+    "fig15": ("repro.experiments.fig15_selectivity:run",
+              dict(n_clients=8, repetitions=1)),
+    "fig16": ("repro.experiments.fig16_migration_modes:run",
+              dict(repetitions=2, warmup=2)),
+    "fig17": ("repro.experiments.fig17_strategies:run",
+              dict(repetitions=2, warmup=3)),
+}
+
+#: the CI smoke subset: one controller trace, one scheduling sweep, one
+#: migration-map harness — the three hot paths the fast-path kernel touches
+QUICK_SUITE = ("fig7", "fig13", "fig16")
+
+RESULTS_DIR = Path("benchmarks") / "results"
+SCHEMA = 1
+
+
+def _calibrate(iterations: int = 2_000_000, repeats: int = 3) -> float:
+    """Time a fixed arithmetic loop; the unit of normalised scores.
+
+    Takes the best of ``repeats`` runs — the minimum is the standard
+    robust timing estimator (noise only ever makes a run slower), and a
+    drifting calibration would scale *every* score and trip the
+    regression tolerance spuriously.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0.0
+        for i in range(iterations):
+            acc += i * 0.5 - (i & 7)
+        elapsed = time.perf_counter() - start
+        # keep the accumulator alive so the loop cannot be optimised away
+        if acc != float("inf") and elapsed < best:
+            best = elapsed
+    return best
+
+
+def _git_rev() -> str:
+    """Short revision of the working tree, or ``local`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "local"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "local"
+
+
+def _bench_one(name: str, fn: str, kwargs: dict) -> tuple[str, float]:
+    """Worker entry point: run one suite experiment and time it."""
+    runner = resolve(fn)
+    start = time.perf_counter()
+    runner(**kwargs)
+    return name, time.perf_counter() - start
+
+
+@dataclass
+class BenchReport:
+    """One benchmark snapshot (what ``BENCH_<rev>.json`` serialises)."""
+
+    rev: str
+    recorded_at: float
+    calibration_seconds: float
+    #: experiment -> (wall seconds, normalised score)
+    experiments: dict[str, tuple[float, float]] = field(
+        default_factory=dict)
+    parallel: int = 0
+    parallel_wall_seconds: float | None = None
+    #: cores visible to this interpreter; a parallel speedup below 1.0
+    #: on a single-core host is expected, not a defect
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+
+    @property
+    def serial_total_seconds(self) -> float:
+        """Sum of the serial per-experiment wall times."""
+        return sum(seconds for seconds, _ in self.experiments.values())
+
+    @property
+    def speedup(self) -> float | None:
+        """Serial-total over parallel wall clock, when both were run."""
+        if not self.parallel_wall_seconds:
+            return None
+        return self.serial_total_seconds / self.parallel_wall_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "schema": SCHEMA,
+            "rev": self.rev,
+            "recorded_at": self.recorded_at,
+            "calibration_seconds": self.calibration_seconds,
+            "experiments": {
+                name: {"seconds": seconds, "score": score}
+                for name, (seconds, score) in self.experiments.items()},
+            "serial_total_seconds": self.serial_total_seconds,
+            "parallel": self.parallel,
+            "parallel_wall_seconds": self.parallel_wall_seconds,
+            "speedup": self.speedup,
+            "cpu_count": self.cpu_count,
+        }
+
+    def table(self) -> str:
+        """The snapshot as a text table."""
+        rows: list[list[object]] = [
+            [name, seconds, score]
+            for name, (seconds, score) in self.experiments.items()]
+        rows.append(["(serial total)", self.serial_total_seconds, ""])
+        if self.parallel_wall_seconds is not None:
+            rows.append([f"(parallel x{self.parallel})",
+                         self.parallel_wall_seconds,
+                         f"speedup {self.speedup:.2f}x on "
+                         f"{self.cpu_count} core(s)"])
+        return render_table(
+            ["experiment", "wall s", "score (calibrated)"], rows,
+            title=f"repro bench @ {self.rev} "
+                  f"(calibration {self.calibration_seconds:.3f}s)")
+
+    # ------------------------------------------------------------------
+
+    def compare(self, baseline: "BenchReport",
+                tolerance: float = 0.25) -> tuple[str, list[str]]:
+        """(comparison table, regression messages) vs a baseline.
+
+        Scores, not raw seconds, are compared: both sides are normalised
+        by their own calibration loop, so a slower CI machine does not
+        read as a regression.
+        """
+        rows: list[list[object]] = []
+        regressions: list[str] = []
+        for name, (_, score) in self.experiments.items():
+            base = baseline.experiments.get(name)
+            if base is None:
+                rows.append([name, "", f"{score:.2f}", "new"])
+                continue
+            base_score = base[1]
+            change = (score - base_score) / base_score if base_score \
+                else 0.0
+            verdict = f"{change:+.1%}"
+            if change > tolerance:
+                verdict += " REGRESSION"
+                regressions.append(
+                    f"{name}: score {score:.2f} vs baseline "
+                    f"{base_score:.2f} ({change:+.1%} > "
+                    f"{tolerance:.0%} tolerance)")
+            rows.append([name, f"{base_score:.2f}", f"{score:.2f}",
+                         verdict])
+        table = render_table(
+            ["experiment", f"baseline ({baseline.rev})", "current",
+             "change"],
+            rows, title="vs committed baseline")
+        return table, regressions
+
+
+def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
+              parallel: int = 0) -> BenchReport:
+    """Time the bench suite; optionally add a parallel fan-out pass."""
+    if names is None:
+        names = QUICK_SUITE if quick else tuple(BENCH_SUITE)
+    unknown = [n for n in names if n not in BENCH_SUITE]
+    if unknown:
+        raise ReproError(
+            f"not in the bench suite: {', '.join(unknown)} "
+            f"(available: {', '.join(BENCH_SUITE)})")
+    report = BenchReport(
+        rev=_git_rev(),
+        # snapshot metadata, not simulated time
+        recorded_at=time.time(),  # verify: allow
+        calibration_seconds=_calibrate(),
+    )
+    # untimed warmup: the first experiment of a run otherwise pays for
+    # module imports and the shared dataset cache, which reads as a
+    # spurious regression on whichever suite member happens to go first
+    _bench_one("warmup", *BENCH_SUITE["fig7"])
+    for name in names:
+        fn, kwargs = BENCH_SUITE[name]
+        _, seconds = _bench_one(name, fn, kwargs)
+        report.experiments[name] = (
+            seconds, seconds / report.calibration_seconds)
+    if parallel > 1:
+        tasks = [Task("repro.runner.bench:_bench_one",
+                      dict(name=name, fn=BENCH_SUITE[name][0],
+                           kwargs=BENCH_SUITE[name][1]))
+                 for name in names]
+        start = time.perf_counter()
+        run_tasks(tasks, parallel=parallel)
+        report.parallel = parallel
+        report.parallel_wall_seconds = time.perf_counter() - start
+    return report
+
+
+# ----------------------------------------------------------------------
+# snapshot persistence
+
+
+def write_report(report: BenchReport,
+                 out_dir: Path | str = RESULTS_DIR) -> Path:
+    """Serialise the snapshot to ``<out_dir>/BENCH_<rev>.json``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{report.rev}.json"
+    path.write_text(json.dumps(report.as_dict(), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def _report_from_dict(data: dict) -> BenchReport:
+    report = BenchReport(
+        rev=str(data.get("rev", "unknown")),
+        recorded_at=float(data.get("recorded_at", 0.0)),
+        calibration_seconds=float(data.get("calibration_seconds", 1.0)),
+        parallel=int(data.get("parallel", 0) or 0),
+        parallel_wall_seconds=data.get("parallel_wall_seconds"),
+        cpu_count=int(data.get("cpu_count", 0) or 1),
+    )
+    for name, entry in data.get("experiments", {}).items():
+        report.experiments[name] = (float(entry["seconds"]),
+                                    float(entry["score"]))
+    return report
+
+
+def load_baseline(results_dir: Path | str = RESULTS_DIR,
+                  exclude_rev: str | None = None) -> BenchReport | None:
+    """Latest snapshot under ``results_dir`` (by ``recorded_at``).
+
+    ``exclude_rev`` skips the snapshot the current run just wrote, so a
+    rerun on the same revision still compares against the previous
+    baseline instead of itself.
+    """
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return None
+    best: BenchReport | None = None
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(data, dict) or not data.get("experiments"):
+            continue
+        report = _report_from_dict(data)
+        if exclude_rev is not None and report.rev == exclude_rev:
+            continue
+        if best is None or report.recorded_at > best.recorded_at:
+            best = report
+    return best

@@ -10,11 +10,37 @@ Design notes
   heap surgery.
 * The engine knows nothing about the domain; components close over whatever
   state they need and hand plain callables to :meth:`Simulator.schedule`.
+
+Fast path
+---------
+The dispatch loop in :meth:`Simulator.run` is the innermost loop of every
+experiment, so it is written against locals rather than attributes and
+fuses the peek (skip cancelled, check the ``until`` bound) with the pop —
+one heap operation per delivered event instead of the peek-then-step
+double scan the first implementation did.  Three supporting structures
+keep the rest of the engine off the profile:
+
+* a **live-event counter** (`_live`) incremented on schedule and
+  decremented on first cancel or pop, so :meth:`pending` is O(1) instead
+  of an O(n) scan of the heap;
+* **timer re-arming** (:meth:`reschedule`): periodic activities (the load
+  balancer, the controller's monitor tick) re-arm one existing
+  :class:`Event` object instead of allocating a fresh one per tick — the
+  timer-wheel trick of recycling the timer cell, without the wheel's
+  bucketing (which would quantise deadlines and perturb traces).  A
+  re-arm draws a fresh sequence number exactly like :meth:`schedule`, so
+  delivery order — and therefore every golden trace — is bit-identical
+  to the cancel-and-reschedule pattern it replaces.
+
+Behaviour (delivery order, tie-breaking, lazy-cancel semantics, error
+cases) is unchanged from the seed implementation; the property tests in
+``tests/test_props_sim_fastpath.py`` pin the equivalence against a
+straight reimplementation of the original loop.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from collections.abc import Callable
 from typing import Any
 
@@ -29,7 +55,7 @@ class Event:
     :meth:`cancel` via the simulator.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "delivered")
 
     def __init__(self, time: float, seq: int,
                  fn: Callable[..., Any], args: tuple[Any, ...]):
@@ -38,6 +64,9 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: set once the loop has popped and invoked the event; guards the
+        #: live counter against cancel-after-delivery
+        self.delivered = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -56,6 +85,9 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._running = False
+        #: not-yet-cancelled events still queued (kept exact so
+        #: :meth:`pending` never has to scan the heap)
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -77,29 +109,66 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}")
         self._seq += 1
         event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm a *delivered or cancelled* event ``delay`` seconds out.
+
+        The allocation-free path for periodic timers: a delivered
+        :class:`Event` cell is pushed back onto the heap with a fresh
+        deadline and a fresh sequence number, so ordering semantics are
+        exactly those of :meth:`schedule` with the same callback.  A
+        *cancelled* event is still physically queued at its old key
+        (cancellation is lazy), so it cannot be revived in place —
+        mutating the key of an in-heap entry corrupts the heap; instead
+        the dead cell is left to be skipped on pop and a fresh event with
+        the same callback is scheduled.  Always use the returned event
+        for further cancel/reschedule calls.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        if event.cancelled:
+            return self.schedule(delay, event.fn, *event.args)
+        if not event.delivered:
+            raise SimulationError(
+                "cannot reschedule an event that is still queued")
+        self._seq += 1
+        event.time = self._now + delay
+        event.seq = self._seq
+        event.cancelled = False
+        event.delivered = False
+        heappush(self._heap, event)
+        self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Mark ``event`` so it is dropped instead of delivered."""
-        event.cancelled = True
+        if not (event.cancelled or event.delivered):
+            event.cancelled = True
+            self._live -= 1
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return self._live
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heappop(heap)
+        return heap[0].time if heap else None
 
     def step(self) -> bool:
         """Deliver the next event.  Returns ``False`` when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.delivered = True
             self._now = event.time
             event.fn(*event.args)
             return True
@@ -126,18 +195,27 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         delivered = 0
+        # the fused dispatch loop: skip-cancelled, bound-check and pop in
+        # one pass over the heap head, all through locals
+        heap = self._heap
+        pop = heappop
         try:
-            while True:
+            while heap:
                 if max_events is not None and delivered >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+                head = heap[0]
+                if head.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and head.time > until:
                     self._now = until
                     break
-                if self.step():
-                    delivered += 1
+                pop(heap)
+                self._live -= 1
+                head.delivered = True
+                self._now = head.time
+                head.fn(*head.args)
+                delivered += 1
         finally:
             self._running = False
         return delivered

@@ -1,0 +1,133 @@
+"""Unit tests for the parallel runner's pool and bench machinery.
+
+These stay in-process (``parallel=1`` short-circuits the pool), so they
+are cheap; the spawn path is covered by
+``tests/test_parallel_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner.bench import (BENCH_SUITE, QUICK_SUITE, BenchReport,
+                                _report_from_dict, load_baseline,
+                                run_bench, write_report)
+from repro.runner.pool import Task, resolve, run_tasks
+
+
+# ---------------------------------------------------------------------
+# pool
+
+
+def _double(x):
+    return 2 * x
+
+
+def test_run_tasks_serial_preserves_submission_order():
+    tasks = [Task("tests.test_runner_pool:_double", dict(x=i))
+             for i in range(5)]
+    assert run_tasks(tasks, parallel=1) == [0, 2, 4, 6, 8]
+
+
+def test_run_tasks_rejects_nonpositive_parallel():
+    with pytest.raises(ReproError):
+        run_tasks([], parallel=0)
+
+
+def test_resolve_rejects_malformed_specs():
+    with pytest.raises(ReproError):
+        resolve("no-colon")
+    with pytest.raises(ReproError):
+        resolve("definitely.not.a.module:fn")
+    with pytest.raises(ReproError):
+        resolve("math:no_such_attr")
+    with pytest.raises(ReproError):
+        resolve("math:pi")  # not callable
+
+
+def test_bench_suite_specs_resolve():
+    """Every suite entry points at an importable runner."""
+    for name, (fn, kwargs) in BENCH_SUITE.items():
+        runner = resolve(fn)
+        assert callable(runner), name
+        for key in kwargs:
+            assert key in runner.__code__.co_varnames, (name, key)
+    assert set(QUICK_SUITE) <= set(BENCH_SUITE)
+
+
+# ---------------------------------------------------------------------
+# bench report + baseline
+
+
+def _report(rev, recorded_at, scores):
+    report = BenchReport(rev=rev, recorded_at=recorded_at,
+                         calibration_seconds=0.1)
+    for name, score in scores.items():
+        report.experiments[name] = (score * 0.1, score)
+    return report
+
+
+def test_compare_flags_regressions_beyond_tolerance():
+    baseline = _report("aaa", 1.0, {"fig13": 10.0, "fig16": 4.0})
+    current = _report("bbb", 2.0, {"fig13": 13.0, "fig16": 4.1})
+    _, regressions = current.compare(baseline, tolerance=0.25)
+    assert len(regressions) == 1
+    assert "fig13" in regressions[0]
+    _, regressions = current.compare(baseline, tolerance=0.5)
+    assert regressions == []
+
+
+def test_compare_treats_new_experiments_as_informational():
+    baseline = _report("aaa", 1.0, {"fig13": 10.0})
+    current = _report("bbb", 2.0, {"fig13": 10.0, "fig16": 99.0})
+    table, regressions = current.compare(baseline)
+    assert regressions == []
+    assert "new" in table
+
+
+def test_write_and_load_baseline_roundtrip(tmp_path):
+    old = _report("aaa", 1.0, {"fig13": 10.0})
+    new = _report("bbb", 2.0, {"fig13": 11.0})
+    write_report(old, tmp_path)
+    path = write_report(new, tmp_path)
+    assert path.name == "BENCH_bbb.json"
+    data = json.loads(path.read_text())
+    assert data["experiments"]["fig13"]["score"] == 11.0
+    # latest by recorded_at wins...
+    assert load_baseline(tmp_path).rev == "bbb"
+    # ...unless excluded (the snapshot the run just wrote)
+    assert load_baseline(tmp_path, exclude_rev="bbb").rev == "aaa"
+    assert load_baseline(tmp_path / "missing") is None
+
+
+def test_load_baseline_skips_corrupt_snapshots(tmp_path):
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    (tmp_path / "BENCH_empty.json").write_text("{}")
+    assert load_baseline(tmp_path) is None
+    write_report(_report("ok", 3.0, {"fig13": 1.0}), tmp_path)
+    assert load_baseline(tmp_path).rev == "ok"
+
+
+def test_report_from_dict_tolerates_missing_fields():
+    report = _report_from_dict({"experiments": {
+        "fig13": {"seconds": 1.0, "score": 5.0}}})
+    assert report.rev == "unknown"
+    assert report.experiments["fig13"] == (1.0, 5.0)
+    assert report.speedup is None
+
+
+def test_run_bench_rejects_unknown_experiments():
+    with pytest.raises(ReproError):
+        run_bench(names=("not-an-experiment",))
+
+
+def test_speedup_uses_serial_total_over_parallel_wall():
+    report = _report("x", 1.0, {"a": 2.0, "b": 2.0})
+    report.parallel = 4
+    report.parallel_wall_seconds = 0.2
+    assert report.speedup == pytest.approx(
+        report.serial_total_seconds / 0.2)
+    assert "speedup" in report.table()
