@@ -10,6 +10,7 @@ Usage::
     python -m repro explain out/fig7 --action-only
     python -m repro compare --workload q6 --clients 16
     python -m repro verify --json
+    python -m repro cache stats
 
 ``run`` executes one figure/extension harness and prints its table; with
 ``--telemetry DIR`` it records metrics, spans and decision provenance
@@ -112,6 +113,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           "worker processes (results are identical to "
                           "a serial run; experiments without a cell "
                           "plan fall back to serial)")
+    run.add_argument("--profile", action="store_true",
+                     help="run under cProfile: writes "
+                          "profile_<experiment>.pstats and prints the "
+                          "top-20 cumulative functions (forces a "
+                          "serial, uncached run)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="re-run every cell instead of replaying "
+                          "cached results")
     for option in _OPTION_SPECS:
         run.add_argument(f"--{option.replace('_', '-')}", dest=option,
                          default=None)
@@ -135,8 +144,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default benchmarks/results)")
     bench.add_argument("--no-write", action="store_true",
                        help="do not write a BENCH_<rev>.json snapshot")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="re-time every suite entry instead of "
+                            "replaying cached results")
     bench.add_argument("--json", action="store_true",
                        help="machine-readable snapshot on stdout")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--dir", default=None, metavar="DIR",
+                       help="cache directory (default .repro-cache/ or "
+                            "$REPRO_CACHE_DIR)")
 
     stats = sub.add_parser(
         "stats", help="summarise a recorded telemetry directory")
@@ -225,6 +245,10 @@ def _run_experiment(args: argparse.Namespace) -> str:
     note = ""
     parallel = getattr(args, "parallel", 1) or 1
     telemetry = getattr(args, "telemetry", None)
+    profile = getattr(args, "profile", False)
+    if profile and telemetry is not None:
+        raise ReproError("--profile and --telemetry are mutually "
+                         "exclusive")
     if parallel > 1:
         if parallel > 64:
             raise ReproError("--parallel accepts at most 64 workers")
@@ -238,23 +262,64 @@ def _run_experiment(args: argparse.Namespace) -> str:
                     f"plan; running serially\n")
         else:
             kwargs["parallel"] = parallel
-    if telemetry is None:
-        return note + runner(**kwargs).table()
-    from .obs import Recorder, export_run, install, uninstall
 
-    recorder = Recorder()
-    install(recorder)
+    from .runner import cache as cache_mod
+
+    use_cache = not getattr(args, "no_cache", False)
+    if profile:
+        if kwargs.pop("parallel", None):
+            note += "note: --profile forces a serial run\n"
+        use_cache = False
+    if telemetry is not None:
+        # replayed cells execute no simulation, so they would record
+        # nothing — a telemetry run must simulate every cell
+        use_cache = False
+    cache_mod.configure(cache_mod.ResultCache() if use_cache else None)
+    try:
+        if profile:
+            return note + _profile_run(args.experiment, runner, kwargs)
+        if telemetry is None:
+            return note + runner(**kwargs).table()
+        from .obs import Recorder, export_run, install, uninstall
+
+        recorder = Recorder()
+        install(recorder)
+        try:
+            result = runner(**kwargs)
+        finally:
+            uninstall()
+        paths = export_run(recorder, telemetry)
+        exported = "\n".join(f"  {p}" for p in paths.values())
+        return (f"{note}{result.table()}\n\ntelemetry written to:\n"
+                f"{exported}")
+    finally:
+        cache_mod.configure(None)
+
+
+def _profile_run(name: str, runner: Callable, kwargs: dict) -> str:
+    """Run one experiment under cProfile; dump stats, print the top-20."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
     try:
         result = runner(**kwargs)
     finally:
-        uninstall()
-    paths = export_run(recorder, telemetry)
-    exported = "\n".join(f"  {p}" for p in paths.values())
-    return f"{note}{result.table()}\n\ntelemetry written to:\n{exported}"
+        profiler.disable()
+    out = Path(f"profile_{name}.pstats")
+    profiler.dump_stats(out)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream) \
+        .sort_stats("cumulative").print_stats(20)
+    return (f"{result.table()}\n\nprofile written to {out}\n"
+            f"{stream.getvalue().rstrip()}")
 
 
 def _run_bench(args: argparse.Namespace) -> int:
     from .runner import bench as bench_mod
+    from .runner.cache import ResultCache
 
     names = None
     if args.experiments is not None:
@@ -262,17 +327,27 @@ def _run_bench(args: argparse.Namespace) -> int:
                       if n.strip())
     out_dir = (Path(args.output_dir) if args.output_dir is not None
                else bench_mod.RESULTS_DIR)
+    # only the per-entry wall times are cached (run_bench keys whole
+    # suite entries); the experiments' inner cell fan-out stays uncached
+    # so a timed run always measures real simulation work
+    store = False if args.no_cache else ResultCache()
     report = bench_mod.run_bench(names=names, quick=args.quick,
-                                 parallel=args.parallel)
+                                 parallel=args.parallel, cache=store)
     if args.json:
         import json
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
         print(report.table())
     if not args.no_write:
-        path = bench_mod.write_report(report, out_dir)
-        if not args.json:
-            print(f"snapshot written to {path}")
+        if report.cached:
+            if not args.json:
+                print(f"snapshot not written: {len(report.cached)} "
+                      f"entries replayed from the result cache "
+                      f"(rerun with --no-cache to re-time)")
+        else:
+            path = bench_mod.write_report(report, out_dir)
+            if not args.json:
+                print(f"snapshot written to {path}")
     baseline = bench_mod.load_baseline(out_dir, exclude_rev=report.rev)
     if baseline is None:
         if not args.json:
@@ -288,6 +363,20 @@ def _run_bench(args: argparse.Namespace) -> int:
             print(f"regression: {message}", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_cache(args: argparse.Namespace) -> str:
+    from .runner.cache import ResultCache
+
+    store = ResultCache(directory=args.dir)
+    if args.action == "clear":
+        return (f"cleared {store.clear()} cached result(s) from "
+                f"{store.directory}")
+    counts = store.stats()
+    rows = [[name, counts[name]]
+            for name in ("hits", "misses", "stored", "entries", "bytes")]
+    return render_table(["counter", "value"], rows,
+                        title=f"result cache @ {counts['directory']}")
 
 
 def _run_stats(args: argparse.Namespace) -> str:
@@ -461,6 +550,8 @@ def main(argv: list[str] | None = None) -> int:
             print(_run_experiment(args))
         elif args.command == "bench":
             return _run_bench(args)
+        elif args.command == "cache":
+            print(_run_cache(args))
         elif args.command == "stats":
             print(_run_stats(args))
         elif args.command == "explain":

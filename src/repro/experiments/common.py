@@ -7,6 +7,21 @@ the experiment description in the paper:
 
     sut = build_system(engine="monetdb", mode="adaptive")
     result = sut.run_clients(n_clients=256, stream=repeat_stream("q6", 1))
+
+Sweep harnesses share their warm-up prefix through the snapshot/fork
+trio: :func:`warm_system` builds (and optionally warms) one controllerless
+system and captures it as a :class:`~repro.sim.SimState`,
+:func:`fork_system` materialises independent copies — one per sweep
+cell — and :func:`attach_controller` puts each cell's mode on its fork:
+
+    base = warm_system(clients=16, stream=repeat_stream("q6", 1))
+    for mode in (None, "dense", "sparse", "adaptive"):
+        sut = attach_controller(fork_system(base), mode)
+        ...measure sut...
+
+Forked cells are bit-identical to cold runs that re-simulate the prefix
+from scratch (golden traces and property tests pin this), and the
+captured base pickles across the ``repro run --parallel N`` spawn pool.
 """
 
 from __future__ import annotations
@@ -28,6 +43,7 @@ from ..hardware.counters import CounterSnapshot
 from ..hardware.prebuilt import opteron_8387
 from ..opsys.system import OperatingSystem
 from ..opsys.thread import reset_thread_ids
+from ..sim.state import SimState
 from ..sim.tracing import PlacementRecord, TraceRecorder
 from ..workloads.selectivity import (SELECTIVITY_LEVELS, selectivity_name,
                                      selectivity_query)
@@ -200,16 +216,88 @@ def build_system(engine: str = "monetdb",
     elif register != "none":
         raise ConfigError(f"unknown register set {register!r}")
 
-    ctrl = None
-    if mode is not None:
-        if isinstance(strategy, str):
-            strategy = make_strategy(strategy)
-        ctrl = ElasticController(
-            os_, make_mode(mode, os_.topology), strategy,
-            controller, keepalive=keepalive)
-        ctrl.start()
-    return SystemUnderTest(os=os_, engine=eng, controller=ctrl,
-                           dataset=dataset, mode_name=mode)
+    sut = SystemUnderTest(os=os_, engine=eng, controller=None,
+                          dataset=dataset, mode_name=None)
+    return attach_controller(sut, mode, strategy=strategy,
+                             controller=controller, keepalive=keepalive)
+
+
+def attach_controller(sut: SystemUnderTest, mode: str | None,
+                      strategy: str | TransitionStrategy = "cpu_load",
+                      controller: ControllerConfig | None = None,
+                      keepalive: bool = False) -> SystemUnderTest:
+    """Attach and start an elastic controller on a built system.
+
+    The fork point of the warm-start harness: a controllerless system is
+    warmed once, captured, and each sweep cell attaches its own mode to
+    a fresh fork.  ``mode=None`` is a no-op (the OS baseline).  Returns
+    ``sut`` for chaining.
+    """
+    if mode is None:
+        return sut
+    if sut.controller is not None:
+        raise ConfigError(
+            f"system already runs a {sut.mode_name!r} controller")
+    if isinstance(strategy, str):
+        strategy = make_strategy(strategy)
+    ctrl = ElasticController(
+        sut.os, make_mode(mode, sut.os.topology), strategy,
+        controller, keepalive=keepalive)
+    ctrl.start()
+    sut.controller = ctrl
+    sut.mode_name = mode
+    return sut
+
+
+# ----------------------------------------------------------------------
+# warm-start forking
+
+
+def dataset_shared_atoms(dataset: TpchDataset) -> tuple:
+    """The dataset and its column arrays, for snapshot externalisation.
+
+    These are immutable by design (the engine mints fresh Tables over the
+    same arrays), so every fork of a capture may alias them: snapshots
+    stay small and restores never copy the bulk data.
+    """
+    atoms: list[object] = [dataset]
+    for table in dataset.columns.values():
+        atoms.extend(table.values())
+    return tuple(atoms)
+
+
+def capture_system(sut: SystemUnderTest) -> SimState:
+    """Snapshot a full system under test (dataset externalised)."""
+    return sut.os.sim.snapshot(
+        root=sut, shared=dataset_shared_atoms(sut.dataset))
+
+
+def fork_system(base: SimState) -> SystemUnderTest:
+    """Materialise one independent system from a captured warm prefix."""
+    return base.restore()
+
+
+def warm_system(engine: str = "monetdb", *,
+                clients: int = 0,
+                stream: Callable[[int], Iterable[str]] | None = None,
+                scale: float = 0.01, sim_scale: float = 1.0,
+                seed: int = 42, record_placements: bool = False,
+                **build_kwargs) -> SimState:
+    """Build + optionally warm one controllerless system; capture it.
+
+    The shared prefix of a sweep: data load, query registration and —
+    when ``clients``/``stream`` are given — a warm-up workload under
+    plain OS scheduling (first-touch page placement, thread spawning).
+    Controllers are mode-specific, so they are attached per fork via
+    :func:`attach_controller`, never baked into the base.
+    """
+    sut = build_system(engine=engine, mode=None, scale=scale,
+                       sim_scale=sim_scale, seed=seed,
+                       record_placements=record_placements,
+                       **build_kwargs)
+    if clients and stream is not None:
+        sut.run_clients(clients, stream)
+    return capture_system(sut)
 
 
 def run_phased_workload(sut: SystemUnderTest, phases: Iterable[str],

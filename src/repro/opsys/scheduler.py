@@ -52,6 +52,24 @@ def _merge_access(a, b):
     )
 
 
+class _TenantMaskListener:
+    """Picklable cpuset subscriber forwarding mask edits to the scheduler.
+
+    A lambda closing over the scheduler would do the same job but cannot
+    pickle, and cpuset listeners sit inside every snapshot taken by
+    :meth:`~repro.sim.Simulator.snapshot` (warm-start forking).
+    """
+
+    __slots__ = ("scheduler", "tenant")
+
+    def __init__(self, scheduler: "Scheduler", tenant: str):
+        self.scheduler = scheduler
+        self.tenant = tenant
+
+    def __call__(self, added: set[int], removed: set[int]) -> None:
+        self.scheduler._on_mask_change(added, removed, self.tenant)
+
+
 class Scheduler:
     """The simulated kernel scheduler for one machine."""
 
@@ -111,9 +129,7 @@ class Scheduler:
         #: tenant name -> the cpuset confining that tenant's managed
         #: threads; the default tenant owns the legacy machine-wide mask
         self._tenant_masks: dict[str, CpuSet] = {DEFAULT_TENANT: cpuset}
-        cpuset.subscribe(
-            lambda added, removed:
-            self._on_mask_change(added, removed, DEFAULT_TENANT))
+        cpuset.subscribe(_TenantMaskListener(self, DEFAULT_TENANT))
 
     # ------------------------------------------------------------------
     # public API
@@ -185,9 +201,7 @@ class Scheduler:
             raise SchedulerError(
                 f"tenant {tenant!r} already has a mask")
         self._tenant_masks[tenant] = cpuset
-        cpuset.subscribe(
-            lambda added, removed:
-            self._on_mask_change(added, removed, tenant))
+        cpuset.subscribe(_TenantMaskListener(self, tenant))
 
     def _mask_for(self, thread: SimThread) -> CpuSet | None:
         """The cpuset confining ``thread`` (``None`` for unmanaged)."""

@@ -23,6 +23,27 @@ from .thread import SimThread, WorkSource
 from .vm import VirtualMemory
 
 
+class _TenantCpusetTelemetry:
+    """Picklable cpuset subscriber mirroring a tenant's mask telemetry.
+
+    A local closure here would break snapshot pickling (warm-start
+    forking captures cpuset listener lists).
+    """
+
+    __slots__ = ("cpuset", "c_added", "c_removed", "g_allowed")
+
+    def __init__(self, cpuset: CpuSet, c_added, c_removed, g_allowed):
+        self.cpuset = cpuset
+        self.c_added = c_added
+        self.c_removed = c_removed
+        self.g_allowed = g_allowed
+
+    def __call__(self, added: set[int], removed: set[int]) -> None:
+        self.c_added.inc(len(added))
+        self.c_removed.inc(len(removed))
+        self.g_allowed.set(len(self.cpuset))
+
+
 class OperatingSystem:
     """A booted simulated machine: hardware + kernel, ready to run threads."""
 
@@ -81,13 +102,8 @@ class OperatingSystem:
         c_removed = metrics.counter(f"cpuset.{name}.cores_removed")
         g_allowed = metrics.gauge(f"cpuset.{name}.allowed_cores")
         g_allowed.set(len(cpuset))
-
-        def on_change(added: set[int], removed: set[int]) -> None:
-            c_added.inc(len(added))
-            c_removed.inc(len(removed))
-            g_allowed.set(len(cpuset))
-
-        cpuset.subscribe(on_change)
+        cpuset.subscribe(_TenantCpusetTelemetry(cpuset, c_added,
+                                                c_removed, g_allowed))
         return cpuset
 
     @property

@@ -18,6 +18,7 @@ from collections.abc import Callable
 from typing import Protocol
 
 from ..errors import SchedulerError
+from ..sim.state import register_global_state
 from .inventory import DEFAULT_TENANT
 from .workitem import WorkItem
 
@@ -126,3 +127,18 @@ def reset_thread_ids() -> None:
     """Reset the global thread id counter (between experiments, so trace
     thread ids are stable and runs remain comparable)."""
     SimThread._next_id = 1
+
+
+def _get_next_thread_id() -> int:
+    return SimThread._next_id
+
+
+def _set_next_thread_id(value: int) -> None:
+    SimThread._next_id = value
+
+
+# the id counter lives outside any object graph, so snapshots record and
+# reinstate it through the sim layer's global-state registry — a forked
+# run hands out the same thread ids (and trace bytes) as a cold one
+register_global_state("opsys.thread.next_id",
+                      _get_next_thread_id, _set_next_thread_id)

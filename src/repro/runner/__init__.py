@@ -13,17 +13,23 @@ against the last committed baseline — the CI regression gate for the
 simulation kernel's fast path.
 """
 
-from .bench import (BENCH_SUITE, QUICK_SUITE, BenchReport, load_baseline,
-                    run_bench)
+from .bench import (BENCH_SUITE, QUICK_SUITE, BenchReport, SweepSnapshot,
+                    load_baseline, run_bench)
+from .cache import ResultCache, configure, current, tree_fingerprint
 from .pool import Task, resolve, run_tasks
 
 __all__ = [
     "Task",
     "resolve",
     "run_tasks",
+    "ResultCache",
+    "configure",
+    "current",
+    "tree_fingerprint",
     "BENCH_SUITE",
     "QUICK_SUITE",
     "BenchReport",
+    "SweepSnapshot",
     "load_baseline",
     "run_bench",
 ]

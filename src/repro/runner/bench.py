@@ -52,7 +52,12 @@ BENCH_SUITE: dict[str, tuple[str, dict]] = {
 QUICK_SUITE = ("fig7", "fig13", "fig16")
 
 RESULTS_DIR = Path("benchmarks") / "results"
-SCHEMA = 1
+#: schema 2 adds per-experiment delivered-event counts and the list of
+#: cache-replayed entries; schema-1 snapshots still load (events empty)
+SCHEMA = 2
+
+#: spec string the result cache keys bench entries under
+_BENCH_FN = "repro.runner.bench:_bench_one"
 
 
 def _calibrate(iterations: int = 2_000_000, repeats: int = 3) -> float:
@@ -88,16 +93,25 @@ def _git_rev() -> str:
     return rev if out.returncode == 0 and rev else "local"
 
 
-def _bench_one(name: str, fn: str, kwargs: dict) -> tuple[str, float]:
-    """Worker entry point: run one suite experiment and time it."""
+def _bench_one(name: str, fn: str,
+               kwargs: dict) -> tuple[str, float, int]:
+    """Worker entry point: run and time one suite experiment.
+
+    Returns ``(name, wall seconds, events delivered)`` — the event count
+    comes from the engine's process-wide delivery counter, so it is
+    exact whether the experiment ran serially or in this worker.
+    """
+    from ..sim.engine import delivered_total
     runner = resolve(fn)
+    before = delivered_total()
     start = time.perf_counter()
     runner(**kwargs)
-    return name, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    return name, elapsed, delivered_total() - before
 
 
 @dataclass
-class BenchReport:
+class SweepSnapshot:
     """One benchmark snapshot (what ``BENCH_<rev>.json`` serialises)."""
 
     rev: str
@@ -106,6 +120,11 @@ class BenchReport:
     #: experiment -> (wall seconds, normalised score)
     experiments: dict[str, tuple[float, float]] = field(
         default_factory=dict)
+    #: experiment -> simulation events delivered during the timed run
+    events: dict[str, int] = field(default_factory=dict)
+    #: suite entries replayed from the result cache (their seconds and
+    #: event counts are the original run's, not re-measured)
+    cached: list[str] = field(default_factory=list)
     parallel: int = 0
     parallel_wall_seconds: float | None = None
     #: cores visible to this interpreter; a parallel speedup below 1.0
@@ -132,8 +151,10 @@ class BenchReport:
             "recorded_at": self.recorded_at,
             "calibration_seconds": self.calibration_seconds,
             "experiments": {
-                name: {"seconds": seconds, "score": score}
+                name: {"seconds": seconds, "score": score,
+                       "events": self.events.get(name, 0)}
                 for name, (seconds, score) in self.experiments.items()},
+            "cached": list(self.cached),
             "serial_total_seconds": self.serial_total_seconds,
             "parallel": self.parallel,
             "parallel_wall_seconds": self.parallel_wall_seconds,
@@ -141,25 +162,35 @@ class BenchReport:
             "cpu_count": self.cpu_count,
         }
 
+    def _events_per_second(self, name: str) -> str:
+        seconds, _ = self.experiments[name]
+        events = self.events.get(name, 0)
+        if not events or seconds <= 0:
+            return ""
+        return f"{events / seconds:,.0f}"
+
     def table(self) -> str:
         """The snapshot as a text table."""
         rows: list[list[object]] = [
-            [name, seconds, score]
+            [name + (" (cached)" if name in self.cached else ""),
+             seconds, self._events_per_second(name), score]
             for name, (seconds, score) in self.experiments.items()]
-        rows.append(["(serial total)", self.serial_total_seconds, ""])
+        rows.append(["(serial total)", self.serial_total_seconds, "",
+                     ""])
         if self.parallel_wall_seconds is not None:
             rows.append([f"(parallel x{self.parallel})",
-                         self.parallel_wall_seconds,
+                         self.parallel_wall_seconds, "",
                          f"speedup {self.speedup:.2f}x on "
                          f"{self.cpu_count} core(s)"])
         return render_table(
-            ["experiment", "wall s", "score (calibrated)"], rows,
+            ["experiment", "wall s", "events/s", "score (calibrated)"],
+            rows,
             title=f"repro bench @ {self.rev} "
                   f"(calibration {self.calibration_seconds:.3f}s)")
 
     # ------------------------------------------------------------------
 
-    def compare(self, baseline: "BenchReport",
+    def compare(self, baseline: "SweepSnapshot",
                 tolerance: float = 0.25) -> tuple[str, list[str]]:
         """(comparison table, regression messages) vs a baseline.
 
@@ -193,9 +224,23 @@ class BenchReport:
         return table, regressions
 
 
+#: historical name, still constructed directly by callers and tests
+BenchReport = SweepSnapshot
+
+
 def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
-              parallel: int = 0) -> BenchReport:
-    """Time the bench suite; optionally add a parallel fan-out pass."""
+              parallel: int = 0, cache: object = None) -> SweepSnapshot:
+    """Time the bench suite; optionally add a parallel fan-out pass.
+
+    ``cache`` follows the :func:`~repro.runner.pool.run_tasks`
+    convention (``None`` defers to the process-wide cache, ``False``
+    forces it off).  A cached suite entry replays its original wall time
+    and event count instead of re-running — those entries are listed in
+    the snapshot's ``cached`` field, and callers should not persist a
+    snapshot whose timings were replayed.
+    """
+    from .cache import resolve_cache
+
     if names is None:
         names = QUICK_SUITE if quick else tuple(BENCH_SUITE)
     unknown = [n for n in names if n not in BENCH_SUITE]
@@ -203,28 +248,51 @@ def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
         raise ReproError(
             f"not in the bench suite: {', '.join(unknown)} "
             f"(available: {', '.join(BENCH_SUITE)})")
-    report = BenchReport(
+    report = SweepSnapshot(
         rev=_git_rev(),
         # snapshot metadata, not simulated time
         recorded_at=time.time(),  # verify: allow
         calibration_seconds=_calibrate(),
     )
-    # untimed warmup: the first experiment of a run otherwise pays for
-    # module imports and the shared dataset cache, which reads as a
-    # spurious regression on whichever suite member happens to go first
-    _bench_one("warmup", *BENCH_SUITE["fig7"])
+    store = resolve_cache(cache)
+    results: dict[str, tuple[float, int]] = {}
+    misses: list[tuple[str, str, dict, str | None]] = []
     for name in names:
         fn, kwargs = BENCH_SUITE[name]
-        _, seconds = _bench_one(name, fn, kwargs)
+        key = None
+        if store is not None:
+            key = store.task_key(
+                _BENCH_FN, dict(name=name, fn=fn, kwargs=kwargs))
+            hit, value = store.lookup(key)
+            if hit:
+                results[name] = (value[1], value[2])
+                report.cached.append(name)
+                continue
+        misses.append((name, fn, kwargs, key))
+    if misses:
+        # untimed warmup: the first experiment of a run otherwise pays
+        # for module imports and the shared dataset cache, which reads
+        # as a spurious regression on whichever suite member goes first
+        _bench_one("warmup", *BENCH_SUITE["fig7"])
+        for name, fn, kwargs, key in misses:
+            _, seconds, events = _bench_one(name, fn, kwargs)
+            results[name] = (seconds, events)
+            if store is not None and key is not None:
+                store.store(key, (name, seconds, events))
+    for name in names:
+        seconds, events = results[name]
         report.experiments[name] = (
             seconds, seconds / report.calibration_seconds)
+        report.events[name] = events
     if parallel > 1:
-        tasks = [Task("repro.runner.bench:_bench_one",
+        # cache=False: the parallel pass measures fan-out wall clock,
+        # which replayed results would turn into a no-op
+        tasks = [Task(_BENCH_FN,
                       dict(name=name, fn=BENCH_SUITE[name][0],
                            kwargs=BENCH_SUITE[name][1]))
                  for name in names]
         start = time.perf_counter()
-        run_tasks(tasks, parallel=parallel)
+        run_tasks(tasks, parallel=parallel, cache=False)
         report.parallel = parallel
         report.parallel_wall_seconds = time.perf_counter() - start
     return report
@@ -234,7 +302,7 @@ def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
 # snapshot persistence
 
 
-def write_report(report: BenchReport,
+def write_report(report: SweepSnapshot,
                  out_dir: Path | str = RESULTS_DIR) -> Path:
     """Serialise the snapshot to ``<out_dir>/BENCH_<rev>.json``."""
     out = Path(out_dir)
@@ -245,8 +313,8 @@ def write_report(report: BenchReport,
     return path
 
 
-def _report_from_dict(data: dict) -> BenchReport:
-    report = BenchReport(
+def _report_from_dict(data: dict) -> SweepSnapshot:
+    report = SweepSnapshot(
         rev=str(data.get("rev", "unknown")),
         recorded_at=float(data.get("recorded_at", 0.0)),
         calibration_seconds=float(data.get("calibration_seconds", 1.0)),
@@ -254,14 +322,19 @@ def _report_from_dict(data: dict) -> BenchReport:
         parallel_wall_seconds=data.get("parallel_wall_seconds"),
         cpu_count=int(data.get("cpu_count", 0) or 1),
     )
+    report.cached = [str(name) for name in data.get("cached", [])]
     for name, entry in data.get("experiments", {}).items():
         report.experiments[name] = (float(entry["seconds"]),
                                     float(entry["score"]))
+        # schema-1 snapshots carry no event counts
+        events = int(entry.get("events", 0) or 0)
+        if events:
+            report.events[name] = events
     return report
 
 
 def load_baseline(results_dir: Path | str = RESULTS_DIR,
-                  exclude_rev: str | None = None) -> BenchReport | None:
+                  exclude_rev: str | None = None) -> SweepSnapshot | None:
     """Latest snapshot under ``results_dir`` (by ``recorded_at``).
 
     ``exclude_rev`` skips the snapshot the current run just wrote, so a
@@ -271,7 +344,7 @@ def load_baseline(results_dir: Path | str = RESULTS_DIR,
     directory = Path(results_dir)
     if not directory.is_dir():
         return None
-    best: BenchReport | None = None
+    best: SweepSnapshot | None = None
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             data = json.loads(path.read_text())

@@ -57,7 +57,8 @@ def _invoke(task: Task) -> Any:
     return resolve(task.fn)(**dict(task.kwargs))
 
 
-def run_tasks(tasks: Iterable[Task], parallel: int = 1) -> list[Any]:
+def run_tasks(tasks: Iterable[Task], parallel: int = 1,
+              cache: Any = None) -> list[Any]:
     """Run every task; results in submission order.
 
     ``parallel <= 1`` (or a single task) short-circuits to a plain serial
@@ -66,10 +67,42 @@ def run_tasks(tasks: Iterable[Task], parallel: int = 1) -> list[Any]:
     ``parallel`` spawn workers, one task per dispatch (``chunksize=1``:
     cells have wildly different runtimes, so greedy dispatch beats
     pre-chunking).
+
+    ``cache`` accepts a :class:`~repro.runner.cache.ResultCache`,
+    ``True`` (the default store), ``False`` (off even when a
+    process-wide cache is configured) or ``None`` (defer to
+    :func:`~repro.runner.cache.current`).  Lookup and store both happen
+    in the parent, keyed on each task's spec and canonicalised kwargs,
+    so only cache misses are executed — serially or across the pool —
+    and hits merge back into their original submission slots.
     """
     task_list = list(tasks)
     if parallel < 1:
         raise ReproError(f"parallel must be >= 1, got {parallel}")
+
+    from .cache import resolve_cache
+    store = resolve_cache(cache)
+    if store is None:
+        return _execute(task_list, parallel)
+
+    results: list[Any] = [None] * len(task_list)
+    misses: list[tuple[int, Task, str]] = []
+    for index, task in enumerate(task_list):
+        key = store.task_key(task.fn, task.kwargs)
+        hit, value = store.lookup(key)
+        if hit:
+            results[index] = value
+        else:
+            misses.append((index, task, key))
+    for (index, _, key), value in zip(
+            misses, _execute([task for _, task, _ in misses], parallel)):
+        results[index] = value
+        store.store(key, value)
+    return results
+
+
+def _execute(task_list: list[Task], parallel: int) -> list[Any]:
+    """Run tasks serially or across the spawn pool; submission order."""
     if parallel == 1 or len(task_list) <= 1:
         return [_invoke(task) for task in task_list]
     workers = min(parallel, len(task_list))

@@ -6,9 +6,10 @@ clock.  Everything above this layer (hardware, OS, database, controller) is
 written against :class:`~repro.sim.engine.Simulator`.
 """
 
-from .engine import Event, Simulator
+from .engine import Event, Simulator, delivered_total
 from .export import dump_records, dump_tracer, load_records
 from .process import ProcessHandle, every, spawn_process
+from .state import SimState, register_global_state
 from .tracing import (
     ControllerTick,
     CoreAllocation,
@@ -23,6 +24,9 @@ from .tracing import (
 __all__ = [
     "Event",
     "Simulator",
+    "SimState",
+    "register_global_state",
+    "delivered_total",
     "spawn_process",
     "ProcessHandle",
     "every",

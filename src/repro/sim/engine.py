@@ -40,11 +40,24 @@ straight reimplementation of the original loop.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from collections.abc import Callable
 from typing import Any
 
 from ..errors import SimulationError
+
+#: events delivered by every Simulator in this process (host telemetry
+#: for ``repro bench``; deliberately not part of any snapshot)
+_DELIVERED_TOTAL = 0
+
+#: compaction floor: below this many dead cells the heap is left alone
+#: (tiny heaps churn more from rebuilding than from skipping)
+_COMPACT_MIN_DEAD = 64
+
+
+def delivered_total() -> int:
+    """Events delivered process-wide since interpreter start."""
+    return _DELIVERED_TOTAL
 
 
 class Event:
@@ -88,6 +101,9 @@ class Simulator:
         #: not-yet-cancelled events still queued (kept exact so
         #: :meth:`pending` never has to scan the heap)
         self._live = 0
+        #: cancelled events still physically queued (lazy cancellation
+        #: leaks these until popped or compacted away)
+        self._dead = 0
 
     @property
     def now(self) -> float:
@@ -148,6 +164,27 @@ class Simulator:
         if not (event.cancelled or event.delivered):
             event.cancelled = True
             self._live -= 1
+            self._dead += 1
+            # heap hygiene: once dead cells outnumber half the live ones
+            # (and there are enough to matter), rebuild without them —
+            # long runs with heavy cancellation otherwise drag a tail of
+            # garbage through every sift
+            if (self._dead >= _COMPACT_MIN_DEAD
+                    and self._dead * 2 > self._live):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled cells and re-heapify, in place.
+
+        In place because :meth:`run` holds a local reference to the heap
+        list.  Event keys ``(time, seq)`` are unique, so the pop order of
+        the rebuilt heap — and every golden trace — is bit-identical to
+        the lazy-skip path it replaces.
+        """
+        heap = self._heap
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapify(heap)
+        self._dead = 0
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued.  O(1)."""
@@ -158,19 +195,23 @@ class Simulator:
         heap = self._heap
         while heap and heap[0].cancelled:
             heappop(heap)
+            self._dead -= 1
         return heap[0].time if heap else None
 
     def step(self) -> bool:
         """Deliver the next event.  Returns ``False`` when none remain."""
+        global _DELIVERED_TOTAL
         heap = self._heap
         while heap:
             event = heappop(heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             event.delivered = True
             self._now = event.time
             event.fn(*event.args)
+            _DELIVERED_TOTAL += 1
             return True
         return False
 
@@ -191,6 +232,7 @@ class Simulator:
         int
             Number of events delivered.
         """
+        global _DELIVERED_TOTAL
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
@@ -206,6 +248,7 @@ class Simulator:
                 head = heap[0]
                 if head.cancelled:
                     pop(heap)
+                    self._dead -= 1
                     continue
                 if until is not None and head.time > until:
                     self._now = until
@@ -218,8 +261,34 @@ class Simulator:
                 delivered += 1
         finally:
             self._running = False
+            _DELIVERED_TOTAL += delivered
         return delivered
 
     def run_until_idle(self, max_events: int = 50_000_000) -> int:
         """Drain every event; convenience wrapper over :meth:`run`."""
         return self.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # snapshot / fork
+
+    def snapshot(self, root: Any = None, shared: tuple = ()):
+        """Capture this simulation for later forking.
+
+        ``root`` widens the capture to a larger graph containing the
+        simulator (a whole system under test); by default only the
+        simulator itself — heap, clock, sequence and live counters, and
+        everything reachable through queued callbacks — is captured.
+        ``shared`` externalises immutable atoms by identity (see
+        :class:`~repro.sim.state.SimState`).  Not callable from inside
+        the dispatch loop: a mid-delivery heap has no consistent state.
+        """
+        if self._running:
+            raise SimulationError("cannot snapshot while run() is active")
+        from .state import SimState
+        return SimState.capture(self if root is None else root,
+                                shared=shared)
+
+    @staticmethod
+    def restore(state) -> Any:
+        """Fork a captured graph; see :meth:`SimState.restore`."""
+        return state.restore()

@@ -1,0 +1,176 @@
+"""Snapshot/fork support: capture a simulation graph, restore it N times.
+
+A sweep re-simulates the same warm-up prefix (data load, first-touch page
+placement, thread spawning) once per cell.  :class:`SimState` captures the
+*entire* object graph of a warmed system — event heap, live counter, RNG
+streams, page tables, per-core load counters — as one pickle payload, so
+the prefix runs once and every cell forks from it.  Restoring is pure
+deserialisation: each call to :meth:`SimState.restore` produces a fresh,
+fully independent copy, and because pickling preserves within-graph object
+identity, the copy's internal wiring (scheduler -> machine -> counters,
+bound-method callbacks queued on the heap) is exactly the original's.
+
+Two mechanisms make the capture faithful *and* cheap:
+
+* **Shared atoms** — immutable bulk data (the TPC-H dataset and its numpy
+  columns) is externalised by identity via the pickle persistent-id hook
+  instead of being serialised into the payload.  Every fork references the
+  same arrays, which is safe because the simulation never mutates them,
+  and keeps a snapshot at tens of kilobytes instead of tens of megabytes.
+* **Registered process globals** — state that lives outside any object
+  graph (the :class:`~repro.opsys.thread.SimThread` id counter) is
+  registered here with getter/setter pairs; :meth:`SimState.capture`
+  records the values and :meth:`SimState.restore` reinstates them, so a
+  forked run hands out the same thread ids as an uninterrupted one.
+
+A :class:`SimState` is itself picklable (payload bytes + shared tuple +
+plain values), so snapshots travel across the spawn pool: the parent warms
+one system, and ``repro run --parallel N`` ships the capture to workers
+that fork their cells from it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SimulationError
+
+#: name -> (get, set) for process-global state that must survive a
+#: capture/restore round trip (registered at module-import time by the
+#: layers that own such state)
+_GLOBAL_STATE: dict[str, tuple[Callable[[], Any],
+                               Callable[[Any], None]]] = {}
+
+
+def register_global_state(name: str, get: Callable[[], Any],
+                          set_: Callable[[Any], None]) -> None:
+    """Register process-global state to capture alongside object graphs.
+
+    ``get`` is called at capture time; ``set_`` replays the recorded value
+    at restore time, before the payload is deserialised.  Registering the
+    same name twice replaces the accessors (idempotent module reloads).
+    """
+    _GLOBAL_STATE[name] = (get, set_)
+
+
+def registered_globals() -> tuple[str, ...]:
+    """Names currently registered (introspection/tests)."""
+    return tuple(_GLOBAL_STATE)
+
+
+class _SharedPickler(pickle.Pickler):
+    """Pickler externalising shared atoms by object identity."""
+
+    def __init__(self, file: io.BytesIO, index: dict[int, int]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._index = index
+
+    def persistent_id(self, obj: Any) -> int | None:
+        return self._index.get(id(obj))
+
+
+class _SharedUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent ids back to the shared atoms."""
+
+    def __init__(self, file: io.BytesIO, shared: tuple[Any, ...]):
+        super().__init__(file)
+        self._shared = shared
+
+    def persistent_load(self, pid: Any) -> Any:
+        try:
+            return self._shared[pid]
+        except (TypeError, IndexError):
+            raise SimulationError(
+                f"snapshot references unknown shared atom {pid!r}") \
+                from None
+
+
+@dataclass(frozen=True)
+class SimState:
+    """One captured simulation graph; restore as many times as needed."""
+
+    #: the pickled object graph (shared atoms externalised)
+    payload: bytes
+    #: the atoms referenced by identity from the payload
+    shared: tuple[Any, ...] = ()
+    #: registered process-global values at capture time
+    globals_: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, root: Any, shared: Iterable[Any] = ()) -> "SimState":
+        """Snapshot ``root``'s full object graph.
+
+        ``shared`` lists immutable objects to externalise by identity
+        (compared with ``is``, not ``==``); everything else reachable
+        from ``root`` is serialised into the payload.
+        """
+        shared_atoms = tuple(shared)
+        index = {id(obj): i for i, obj in enumerate(shared_atoms)}
+        buffer = io.BytesIO()
+        try:
+            _SharedPickler(buffer, index).dump(root)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            raise SimulationError(
+                f"cannot capture simulation state: {exc} (lambdas and "
+                f"local closures do not pickle; use a module-level "
+                f"class with __call__ instead)") from exc
+        values = {name: get() for name, (get, _) in _GLOBAL_STATE.items()}
+        return cls(payload=buffer.getvalue(), shared=shared_atoms,
+                   globals_=values)
+
+    def restore(self) -> Any:
+        """Materialise a fresh, independent copy of the captured graph.
+
+        Registered process globals are reinstated first, then the payload
+        is deserialised against the shared atoms.  Each call returns a
+        new copy; forks never alias each other's mutable state.
+        """
+        for name, value in self.globals_.items():
+            entry = _GLOBAL_STATE.get(name)
+            if entry is not None:
+                entry[1](value)
+        return _SharedUnpickler(io.BytesIO(self.payload),
+                                self.shared).load()
+
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the capture (cache-key canonicalisation).
+
+        Stable across processes for identical captures: the payload bytes
+        pin the graph, the shared atoms are digested by value (numpy
+        arrays via their raw buffer), and the registered globals by repr.
+        Memoised — the shared atoms can be megabytes.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        digest.update(self.payload)
+        for atom in self.shared:
+            digest.update(_atom_digest(atom))
+        for name in sorted(self.globals_):
+            digest.update(name.encode())
+            digest.update(repr(self.globals_[name]).encode())
+        value = digest.hexdigest()
+        self.__dict__["_fingerprint"] = value
+        return value
+
+    def size_bytes(self) -> int:
+        """Payload size (diagnostics; excludes the shared atoms)."""
+        return len(self.payload)
+
+
+def _atom_digest(atom: Any) -> bytes:
+    """A stable per-atom content digest for :meth:`SimState.fingerprint`."""
+    tobytes = getattr(atom, "tobytes", None)
+    if callable(tobytes):  # numpy arrays: raw buffer + dtype + shape
+        meta = f"{getattr(atom, 'dtype', '')}:{getattr(atom, 'shape', '')}"
+        return hashlib.sha256(meta.encode() + tobytes()).digest()
+    return hashlib.sha256(
+        pickle.dumps(atom, protocol=pickle.HIGHEST_PROTOCOL)).digest()

@@ -1,0 +1,284 @@
+"""Unit tests for snapshot/fork (:mod:`repro.sim.state`) and heap hygiene.
+
+The property tests in ``tests/test_props_sim_state.py`` pin the
+behavioural equivalence of forked vs uninterrupted runs over random
+programs; these tests pin the mechanism piece by piece — shared-atom
+identity, registered globals, pickle-ability of the capture itself, the
+guard rails, and the lazy-cancel heap compaction bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import _COMPACT_MIN_DEAD, Simulator
+from repro.sim.state import (SimState, register_global_state,
+                             registered_globals)
+
+
+class _Append:
+    """Picklable callback: log (tag, now, rng draw) on delivery."""
+
+    __slots__ = ("harness", "tag")
+
+    def __init__(self, harness, tag):
+        self.harness = harness
+        self.tag = tag
+
+    def __call__(self):
+        h = self.harness
+        h.log.append((self.tag, h.sim.now, h.rng.random()))
+
+
+class _Harness:
+    """A tiny simulation graph: engine + log + RNG + optional atoms."""
+
+    def __init__(self, atom=None):
+        self.sim = Simulator()
+        self.log = []
+        self.rng = random.Random(42)
+        self.atom = atom
+
+    def schedule(self, n, spacing=0.5):
+        for i in range(n):
+            self.sim.schedule(spacing * (i + 1), _Append(self, i))
+
+
+# ---------------------------------------------------------------------
+# snapshot / restore
+
+
+def test_fork_resumes_identically_to_uninterrupted_run():
+    cold = _Harness()
+    cold.schedule(8)
+    cold.sim.run()
+
+    warm = _Harness()
+    warm.schedule(8)
+    warm.sim.run(max_events=3)
+    state = warm.sim.snapshot(root=warm)
+    fork = Simulator.restore(state)
+    fork.sim.run()
+    assert fork.log == cold.log
+    assert fork.sim.now == cold.sim.now
+    assert fork.sim.pending() == 0
+
+
+def test_each_restore_is_an_independent_fork():
+    base = _Harness()
+    base.schedule(6)
+    base.sim.run(max_events=2)
+    state = base.sim.snapshot(root=base)
+
+    first = Simulator.restore(state)
+    first.sim.run()
+    # the first fork's run must not disturb the capture
+    second = Simulator.restore(state)
+    second.sim.run()
+    assert first.log == second.log
+    assert first.log is not second.log
+    # nor the original, which still holds its own pending events
+    assert base.sim.pending() == 4
+
+
+def test_rng_stream_is_captured():
+    base = _Harness()
+    base.schedule(4)
+    base.sim.run(max_events=2)  # advances base.rng
+    state = base.sim.snapshot(root=base)
+    fork_a = Simulator.restore(state)
+    fork_b = Simulator.restore(state)
+    fork_a.sim.run()
+    fork_b.sim.run()
+    # both forks continue the RNG stream from the same point
+    assert [entry[2] for entry in fork_a.log[2:]] \
+        == [entry[2] for entry in fork_b.log[2:]]
+
+
+def test_shared_atoms_are_referenced_not_copied():
+    atom = np.arange(1000, dtype=np.float64)
+    base = _Harness(atom=atom)
+    base.schedule(2)
+    state = base.sim.snapshot(root=base, shared=(atom,))
+    assert state.size_bytes() < atom.nbytes  # externalised, not inlined
+    fork = Simulator.restore(state)
+    assert fork.atom is atom
+
+
+def test_unshared_atoms_are_deep_copied():
+    atom = np.arange(10, dtype=np.float64)
+    base = _Harness(atom=atom)
+    state = base.sim.snapshot(root=base)
+    fork = Simulator.restore(state)
+    assert fork.atom is not atom
+    assert np.array_equal(fork.atom, atom)
+
+
+def test_simstate_itself_pickles():
+    """Captures must travel across the spawn pool."""
+    atom = np.arange(16, dtype=np.float64)
+    base = _Harness(atom=atom)
+    base.schedule(5)
+    base.sim.run(max_events=2)
+    state = base.sim.snapshot(root=base, shared=(atom,))
+    clone = pickle.loads(pickle.dumps(state))
+    fork_direct = Simulator.restore(state)
+    fork_shipped = Simulator.restore(clone)
+    fork_direct.sim.run()
+    fork_shipped.sim.run()
+    assert fork_shipped.log == fork_direct.log
+
+
+def test_snapshot_refuses_mid_dispatch():
+    harness = _Harness()
+    caught = []
+
+    class _Snapshotter:
+        def __init__(self, h):
+            self.h = h
+
+        def __call__(self):
+            try:
+                self.h.sim.snapshot(root=self.h)
+            except SimulationError as exc:
+                caught.append(str(exc))
+
+    harness.sim.schedule(1.0, _Snapshotter(harness))
+    harness.sim.run()
+    assert caught and "run() is active" in caught[0]
+
+
+def test_capture_rejects_unpicklable_graphs_with_hint():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError, match="local closures"):
+        sim.snapshot()
+
+
+def test_registered_globals_round_trip():
+    box = {"value": 7}
+    register_global_state("test.box", lambda: box["value"],
+                          lambda v: box.__setitem__("value", v))
+    try:
+        sim = Simulator()
+        state = sim.snapshot()
+        box["value"] = 99
+        Simulator.restore(state)
+        assert box["value"] == 7
+        assert state.globals_["test.box"] == 7
+    finally:
+        from repro.sim import state as state_mod
+        state_mod._GLOBAL_STATE.pop("test.box", None)
+
+
+def test_thread_id_counter_is_registered():
+    assert "opsys.thread.next_id" in registered_globals()
+
+
+def test_fingerprint_is_stable_and_content_sensitive():
+    def build(n):
+        h = _Harness()
+        h.schedule(n)
+        return h.sim.snapshot(root=h)
+
+    assert build(3).fingerprint() == build(3).fingerprint()
+    assert build(3).fingerprint() != build(4).fingerprint()
+    # survives a pickle round trip (spawn-pool shipping)
+    state = build(3)
+    assert pickle.loads(pickle.dumps(state)).fingerprint() \
+        == state.fingerprint()
+
+
+def test_restore_rejects_unknown_shared_atom():
+    atom = np.arange(4, dtype=np.float64)
+    base = _Harness(atom=atom)
+    state = base.sim.snapshot(root=base, shared=(atom,))
+    stripped = SimState(payload=state.payload, shared=(),
+                        globals_=state.globals_)
+    with pytest.raises(SimulationError, match="shared atom"):
+        stripped.restore()
+
+
+# ---------------------------------------------------------------------
+# heap compaction
+
+
+def _noop():
+    pass
+
+
+def test_compaction_drops_dead_cells_and_resets_counter():
+    sim = Simulator()
+    events = [sim.schedule(float(i), _noop) for i in range(300)]
+    # cancel just below the trigger: nothing compacted yet
+    for event in events[: _COMPACT_MIN_DEAD - 1]:
+        sim.cancel(event)
+    assert sim._dead == _COMPACT_MIN_DEAD - 1
+    assert len(sim._heap) == 300
+    # live=237 here, so dead*2 > live needs more cancels; push past both
+    # thresholds and compaction must keep the dead tail bounded
+    for event in events[_COMPACT_MIN_DEAD - 1: 200]:
+        sim.cancel(event)
+    assert sim.pending() == 100
+    assert sim._dead < _COMPACT_MIN_DEAD
+    assert len(sim._heap) == 100 + sim._dead
+    assert len(sim._heap) < 300
+
+
+def test_compaction_preserves_delivery_order():
+    plain, compacted = Simulator(), Simulator()
+    logs = ([], [])
+
+    class _Log:
+        def __init__(self, log, i):
+            self.log = log
+            self.i = i
+
+        def __call__(self):
+            self.log.append(self.i)
+
+    for log, sim in zip(logs, (plain, compacted)):
+        events = [sim.schedule(float(i % 7), _Log(log, i))
+                  for i in range(400)]
+        doomed = [e for i, e in enumerate(events) if i % 4 != 0]
+        if sim is compacted:
+            for event in doomed:  # triggers compaction repeatedly
+                sim.cancel(event)
+        else:
+            for event in doomed:  # mark lazily, bypassing compaction
+                event.cancelled = True
+                sim._live -= 1
+                sim._dead += 1
+        sim.run()
+    assert logs[1] == logs[0]
+    assert plain.pending() == compacted.pending() == 0
+
+
+def test_small_heaps_are_never_compacted():
+    sim = Simulator()
+    events = [sim.schedule(float(i), _noop) for i in range(20)]
+    for event in events[:15]:
+        sim.cancel(event)
+    # dead*2 > live by far, but below the size floor
+    assert len(sim._heap) == 20
+    assert sim.pending() == 5
+    assert sim.run() == 5
+
+
+def test_pending_stays_exact_through_cancel_compact_deliver():
+    sim = Simulator()
+    events = [sim.schedule(1.0 + i, _noop) for i in range(200)]
+    assert sim.pending() == 200
+    for event in events[:150]:
+        sim.cancel(event)
+    assert sim.pending() == 50
+    sim.cancel(events[0])  # double cancel: no effect
+    assert sim.pending() == 50
+    delivered = sim.run()
+    assert delivered == 50
+    assert sim.pending() == 0
