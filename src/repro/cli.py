@@ -224,9 +224,35 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="source tree to lint (default: the "
                              "installed repro package)")
     verify.add_argument("--no-lint", action="store_true",
-                        help="skip the determinism lint")
+                        help="skip the source rules")
     verify.add_argument("--no-model", action="store_true",
                         help="skip the model checks")
+    verify.add_argument("--lint-only", action="store_true",
+                        help="run only the source rules "
+                             "(pattern + flow; skip model checks)")
+    verify.add_argument("--all", action="store_true",
+                        help="run everything: model checks plus every "
+                             "registered source rule (overrides the "
+                             "--no-*/--lint-only switches)")
+    verify.add_argument("--rules", action="append", default=None,
+                        metavar="ID[,ID...]",
+                        help="restrict the source run to these rule "
+                             "ids (repeatable, comma-separable)")
+    verify.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    verify.add_argument("--files", nargs="+", default=None,
+                        metavar="FILE",
+                        help="run the source rules over these files "
+                             "only (the pre-commit hook; implies "
+                             "--lint-only)")
+    verify.add_argument("--baseline", default=None, metavar="FILE",
+                        help="grandfather the findings recorded in "
+                             "FILE: matches are demoted to warnings, "
+                             "anything new still fails")
+    verify.add_argument("--write-baseline", default=None,
+                        metavar="FILE",
+                        help="record the current source error findings "
+                             "into FILE and exit")
     return parser
 
 
@@ -479,11 +505,41 @@ def _load_fixture(spec: str):
 def _run_verify(args: argparse.Namespace) -> int:
     from .config import preflight_defects
     from .core.model import PerformanceModel
-    from .verify import (Finding, VerificationReport,
-                         verify_performance_model, verify_source_tree)
+    from .verify import (Finding, VerificationReport, all_rules,
+                         apply_baseline, load_baseline, write_baseline,
+                         verify_files, verify_performance_model,
+                         verify_source_tree)
+
+    if args.list_rules:
+        for entry in all_rules():
+            zones = f"  zones={'/'.join(entry.zones)}" if entry.zones \
+                else ""
+            print(f"{entry.id}  [{entry.severity}]{zones}")
+            print(f"    {entry.summary}")
+            if entry.remedy:
+                print(f"    fix: {entry.remedy}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip() for chunk in args.rules
+                 for rule_id in chunk.split(",") if rule_id.strip()]
+        unknown = sorted(set(rules)
+                         - {entry.id for entry in all_rules()})
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)} "
+                  f"(see --list-rules)", file=sys.stderr)
+            return 2
+
+    lint_only = args.lint_only or args.files is not None \
+        or args.write_baseline is not None
+    run_model = not args.no_model and not lint_only
+    run_lint = not args.no_lint
+    if args.all:
+        run_model, run_lint = True, True
 
     reports = []
-    if not args.no_model:
+    if run_model:
         if args.fixture is not None:
             model = _load_fixture(args.fixture)
             reports.append(verify_performance_model(
@@ -518,12 +574,32 @@ def _run_verify(args: argparse.Namespace) -> int:
                     model.metric_domain = domain
                 reports.append(verify_performance_model(
                     model, grid=args.grid, subject=subject))
-    if not args.no_lint:
+    if run_lint:
         if args.src is not None and not Path(args.src).is_dir():
             print(f"error: --src '{args.src}' is not a directory",
                   file=sys.stderr)
             return 2
-        reports.append(verify_source_tree(args.src))
+        if args.files is not None:
+            source_report = verify_files(args.files, root=args.src,
+                                         rules=rules)
+        else:
+            source_report = verify_source_tree(args.src, rules=rules)
+        if args.write_baseline is not None:
+            count = write_baseline(source_report.findings,
+                                   Path(args.write_baseline))
+            print(f"wrote {count} baseline entr"
+                  f"{'y' if count == 1 else 'ies'} to "
+                  f"{args.write_baseline}")
+            return 0
+        if args.baseline is not None:
+            entries = load_baseline(Path(args.baseline))
+            source_report.findings = apply_baseline(
+                source_report.findings, entries,
+                baseline_name=args.baseline)
+            if any(f.check == "baseline:stale-entry"
+                   for f in source_report.findings):
+                source_report.extend("baseline:stale-entry", [])
+        reports.append(source_report)
     ok = all(report.ok for report in reports)
     if args.json:
         import json

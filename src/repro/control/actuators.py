@@ -42,18 +42,20 @@ class DryRunActuator:
         self._held = set(cores)
 
     def apply(self, delta: CoreDelta) -> CoreDelta:
-        if delta:
-            self.planned.append(delta)
+        # validate the whole delta before touching the holding set, so
+        # a rejected delta leaves the what-if state unchanged
         for core in delta.allocate:
             if core in self._held:
                 raise AllocationError(
                     f"dry-run already holds core {core}")
-            self._held.add(core)
         for core in delta.release:
             if core not in self._held:
                 raise AllocationError(
                     f"dry-run does not hold core {core}")
-            self._held.discard(core)
+        if delta:
+            self.planned.append(delta)
+        self._held.update(delta.allocate)
+        self._held.difference_update(delta.release)
         return delta
 
     def own(self) -> frozenset[int]:

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
-from ..errors import AllocationError
+from ..errors import AllocationError, LeaseError
 from ..opsys.inventory import DEFAULT_TENANT
 from ..sim.tracing import CoreAllocation
 
@@ -259,12 +259,26 @@ class LeaseActuator:
         for core in cores:
             self._trace(core, allocated=True)
 
-    def apply(self, delta: CoreDelta) -> CoreDelta:
-        for core in delta.allocate:
-            self.inventory.acquire(self.tenant, core)
-            self._trace(core, allocated=True)
+    # The actuator's whole job is to transfer leases to the tenant, so
+    # they legitimately outlive the call and cannot balance statically:
+    def apply(self, delta: CoreDelta) -> CoreDelta:  # verify: allow=flow:lease-unpaired
+        acquired: list[int] = []
+        try:
+            for core in delta.allocate:
+                self.inventory.acquire(self.tenant, core)
+                acquired.append(core)
+                self._trace(core, allocated=True)
+        except LeaseError:
+            # roll back the partial acquisition so a rejected delta
+            # leaves the inventory (and the trace) exactly as it was
+            for core in reversed(acquired):
+                self.inventory.release(self.tenant, core)
+                self._trace(core, allocated=False)
+            raise
         for core in delta.release:
-            self.inventory.release(self.tenant, core)
+            # a failed release keeps that core leased; the next Sense
+            # re-syncs the model from the cpuset, so nothing dangles
+            self.inventory.release(self.tenant, core)  # verify: allow=flow:lease-rollback
             self._trace(core, allocated=False)
         return delta
 

@@ -44,7 +44,7 @@ class CpuSet:
     def _rebuild_caches(self) -> None:
         self._sorted: tuple[int, ...] = tuple(sorted(self._allowed))
         self._mask = 0
-        for core in self._allowed:
+        for core in self._sorted:
             self._mask |= 1 << core
 
     def _check_cores(self, cores: Iterable[int]) -> None:

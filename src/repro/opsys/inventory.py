@@ -149,6 +149,8 @@ class CoreInventory:
         entry = self._entry(tenant)
         wanted = sorted(set(cores))
         for core in wanted:
+            if not 0 <= core < self.n_cores:
+                raise LeaseError(f"core {core} is not an online core")
             owner = self._owner.get(core)
             if owner is not None and owner != tenant:
                 raise LeaseError(
@@ -157,7 +159,7 @@ class CoreInventory:
             raise LeaseError(
                 f"initial lease set of {len(wanted)} cores is below "
                 f"tenant {tenant!r}'s min_cores={entry.min_cores}")
-        for core in self.mask_of(tenant):
+        for core in sorted(self.mask_of(tenant)):
             del self._owner[core]
         for core in wanted:
             self._owner[core] = tenant

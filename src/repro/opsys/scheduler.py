@@ -165,7 +165,9 @@ class Scheduler:
         """
         if tenant is None:
             return self._live_threads
-        return sum(1 for t in self.threads if t.tenant == tenant)
+        # commutative integer reduction: order cannot reach the result
+        return sum(1 for t in self.threads  # verify: allow=flow:set-iteration
+                   if t.tenant == tenant)
 
     def core_load(self, core: int) -> int:
         """Queue length of ``core`` including the running thread.  O(1)."""
@@ -605,7 +607,7 @@ class Scheduler:
 
     def _on_mask_change(self, added: set[int], removed: set[int],
                         tenant: str = DEFAULT_TENANT) -> None:
-        for core in removed:
+        for core in sorted(removed):
             queue = self._queues[core]
             # evict managed threads whose own tenant mask lost the core
             # (another tenant's threads queued here are unaffected)
@@ -620,7 +622,7 @@ class Scheduler:
                 self._note_migration(thread, core, target, stolen=False)
                 self._enqueue(thread, target)
         # newly added cores pull work immediately (new-idle balancing)
-        for core in added:
+        for core in sorted(added):
             self._dispatch(core)
         if added and self._live_threads:
             self._ensure_balancer()

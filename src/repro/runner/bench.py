@@ -251,7 +251,7 @@ def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
     report = SweepSnapshot(
         rev=_git_rev(),
         # snapshot metadata, not simulated time
-        recorded_at=time.time(),  # verify: allow
+        recorded_at=time.time(),  # verify: allow=lint:wall-clock
         calibration_seconds=_calibrate(),
     )
     store = resolve_cache(cache)

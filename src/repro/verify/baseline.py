@@ -1,0 +1,80 @@
+"""Finding baselines: grandfather old findings, gate on new ones.
+
+Turning a new analyzer on over a grown codebase produces a wall of
+findings nobody can fix in one sitting.  The baseline workflow makes the
+gate incremental anyway: ``repro verify --write-baseline FILE`` records
+today's error findings, the file is committed, and from then on
+``repro verify --baseline FILE`` demotes exactly those findings to
+warnings — still visible, no longer failing — while anything *new*
+fails CI immediately.  Entries are keyed on ``(check, path, message)``
+and deliberately not on line numbers, so unrelated edits shifting a file
+do not resurrect grandfathered findings; a baseline entry that no longer
+matches anything is reported as ``baseline:stale-entry`` so the file
+shrinks monotonically toward the empty list the acceptance bar wants.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from ..errors import VerificationError
+from .report import Finding
+
+
+def finding_key(finding: Finding) -> tuple[str, str, str]:
+    """The line-number-free identity a baseline entry pins."""
+    return (finding.check, finding.path or finding.location,
+            finding.message)
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Read a baseline file (a JSON list of entry objects)."""
+    try:
+        entries = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise VerificationError(
+            f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(entries, list):
+        raise VerificationError(
+            f"baseline {path} must be a JSON list of entries")
+    return entries
+
+
+def write_baseline(findings: list[Finding], path: Path) -> int:
+    """Record every error finding; returns the entry count."""
+    entries = [
+        {"check": f.check, "path": f.path or f.location,
+         "message": f.message}
+        for f in sorted(findings, key=Finding.sort_key)
+        if f.severity == "error"]
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: list[Finding],
+                   entries: list[dict],
+                   baseline_name: str = "baseline") -> list[Finding]:
+    """Demote grandfathered errors to warnings; report stale entries."""
+    keys = {(entry.get("check", ""), entry.get("path", ""),
+             entry.get("message", "")) for entry in entries}
+    matched: set[tuple[str, str, str]] = set()
+    result: list[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if finding.severity == "error" and key in keys:
+            matched.add(key)
+            result.append(replace(
+                finding, severity="warning",
+                message=f"[grandfathered] {finding.message}"))
+        else:
+            result.append(finding)
+    for check, path, message in sorted(keys - matched):
+        result.append(Finding(
+            "baseline:stale-entry",
+            f"{baseline_name} entry no longer matches any finding "
+            f"({check}: {message})",
+            location=path, severity="warning", path=path))
+    return result

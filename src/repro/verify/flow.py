@@ -1,0 +1,353 @@
+"""Intraprocedural dataflow: per-function CFGs + forward fixpoints.
+
+The protocol analyzers in :mod:`repro.verify.rules` need more than
+pattern matching: whether a partially-acquired lease set can escape on an
+exception, or whether a variable *may* hold a ``set`` by the time it is
+iterated, are path properties.  This module provides the two pieces they
+share:
+
+* :func:`build_cfg` — a statement-level control-flow graph for one
+  function body, with normal edges (sequencing, branches, loop back
+  edges, ``break``/``continue``/``return``) and *exceptional* edges
+  (from every statement the client's ``may_raise`` predicate selects, to
+  the innermost enclosing ``except`` handlers, or to the synthetic
+  ``raise_exit`` node when the exception escapes the function);
+* :func:`analyse_forward` — a worklist fixpoint propagating abstract
+  states forward over that graph.  The client supplies the lattice as
+  three functions (``transfer`` for normal completion of a statement,
+  ``exc_state`` for the state carried by an exceptional edge — by
+  default the *entry* state, because an exception means the statement's
+  effects did not happen — and ``join``).  For a finite lattice with a
+  monotone join the iteration terminates; a hard iteration bound guards
+  against client bugs.
+
+Exceptional flow is deliberately coarse: an exception raised inside a
+``try`` with handlers is routed to *every* handler (no exception-type
+matching), and only statements the client marks may raise.  That is the
+right trade-off for linting — over-approximate paths, under-approximate
+raising sites — and it is what the reference-interpreter property tests
+in ``tests/test_verify_flow.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import VerificationError
+
+#: edge kinds
+NORMAL = "normal"
+EXC = "exc"
+
+#: statements that never get a node of their own (scope boundaries)
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class CFG:
+    """A statement-level control-flow graph for one function.
+
+    Nodes are integers; ``stmts`` maps each node to its AST payload
+    (``None`` for the synthetic ``entry`` / ``exit`` / ``raise_exit``
+    nodes and loop-head re-test nodes reuse the loop statement).  Edges
+    carry a kind: :data:`NORMAL` or :data:`EXC`.
+    """
+
+    entry: int
+    exit: int
+    raise_exit: int
+    stmts: dict[int, ast.AST | None] = field(default_factory=dict)
+    succ: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+
+    def nodes(self) -> list[int]:
+        return sorted(self.stmts)
+
+    def edges(self) -> Iterator[tuple[int, int, str]]:
+        for source in sorted(self.succ):
+            for target, kind in self.succ[source]:
+                yield source, target, kind
+
+
+def executed_parts(stmt: ast.AST | None) -> list[ast.AST]:
+    """The sub-expressions actually evaluated *at* a CFG node.
+
+    Compound statements become several CFG nodes; the node carrying the
+    statement itself only evaluates its header (an ``if``'s test, a
+    ``for``'s iterable, a ``with``'s context managers) — the bodies are
+    separate nodes.  Transfer functions must scan only these parts.
+    """
+    if stmt is None or isinstance(stmt, (ast.ExceptHandler,
+                                         *_NESTED_SCOPES)):
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Raise):
+        return [part for part in (stmt.exc, stmt.cause)
+                if part is not None]
+    return [stmt]
+
+
+def shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested scopes.
+
+    Code inside a nested ``def`` / ``class`` / ``lambda`` does not run
+    when the enclosing statement executes, so statement-level scans must
+    not attribute it to the statement.  The scope node itself *is*
+    yielded (a lambda argument is still an expression at this point).
+    """
+    yield node
+    if isinstance(node, (*_NESTED_SCOPES, ast.Lambda)):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from shallow_walk(child)
+
+
+def default_may_raise(stmt: ast.AST) -> bool:
+    """The default raising predicate: any call or explicit raise/assert."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for part in executed_parts(stmt):
+        for node in shallow_walk(part):
+            if isinstance(node, ast.Call):
+                return True
+    return False
+
+
+class _Builder:
+    """One build_cfg invocation's mutable state."""
+
+    def __init__(self, may_raise: Callable[[ast.AST], bool]):
+        self.may_raise = may_raise
+        self.cfg = CFG(entry=0, exit=1, raise_exit=2,
+                       stmts={0: None, 1: None, 2: None},
+                       succ={0: [], 1: [], 2: []})
+        self._next = 3
+        #: stack of handler-entry node lists (innermost last); an
+        #: exception goes to every handler of the innermost frame
+        self._handlers: list[list[int]] = []
+
+    def new_node(self, stmt: ast.AST | None) -> int:
+        node = self._next
+        self._next += 1
+        self.cfg.stmts[node] = stmt
+        self.cfg.succ[node] = []
+        return node
+
+    def edge(self, source: int, target: int, kind: str = NORMAL) -> None:
+        pair = (target, kind)
+        if pair not in self.cfg.succ[source]:
+            self.cfg.succ[source].append(pair)
+
+    def exc_targets(self) -> list[int]:
+        if self._handlers:
+            return self._handlers[-1]
+        return [self.cfg.raise_exit]
+
+    def statement(self, stmt: ast.AST) -> int:
+        """One simple statement: a node, plus its exceptional edges."""
+        node = self.new_node(stmt)
+        if self.may_raise(stmt):
+            for target in self.exc_targets():
+                self.edge(node, target, EXC)
+        return node
+
+    # -- the recursive body walk ---------------------------------------
+
+    def body(self, stmts: list[ast.stmt], preds: list[int],
+             break_to: list[int] | None,
+             continue_to: int | None) -> list[int]:
+        """Wire a statement list after ``preds``; return the exits.
+
+        ``preds`` are the dangling nodes whose normal flow enters the
+        list; the return value is the dangling set after the last
+        statement (empty when every path returned/raised/broke).
+        """
+        current = preds
+        for stmt in stmts:
+            if not current:
+                break  # unreachable tail
+            current = self.one(stmt, current, break_to, continue_to)
+        return current
+
+    def one(self, stmt: ast.stmt, preds: list[int],
+            break_to: list[int] | None,
+            continue_to: int | None) -> list[int]:
+        if isinstance(stmt, _NESTED_SCOPES):
+            # nested defs/classes execute as one (non-raising) binding
+            node = self.new_node(stmt)
+            self._link(preds, node)
+            return [node]
+        if isinstance(stmt, ast.Return):
+            node = self.statement(stmt)
+            self._link(preds, node)
+            self.edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self.new_node(stmt)
+            self._link(preds, node)
+            for target in self.exc_targets():
+                self.edge(node, target, EXC)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.new_node(stmt)
+            self._link(preds, node)
+            if break_to is not None:
+                break_to.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.new_node(stmt)
+            self._link(preds, node)
+            if continue_to is not None:
+                self.edge(node, continue_to)
+            return []
+        if isinstance(stmt, ast.If):
+            node = self.statement(stmt)
+            self._link(preds, node)
+            then_exit = self.body(stmt.body, [node], break_to, continue_to)
+            else_exit = self.body(stmt.orelse, [node], break_to,
+                                  continue_to) if stmt.orelse else [node]
+            return then_exit + else_exit
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, break_to, continue_to)
+        if isinstance(stmt, (ast.Try, *(
+                (ast.TryStar,) if hasattr(ast, "TryStar") else ()))):
+            return self._try(stmt, preds, break_to, continue_to)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.statement(stmt)  # the context-manager calls
+            self._link(preds, node)
+            return self.body(stmt.body, [node], break_to, continue_to)
+        node = self.statement(stmt)
+        self._link(preds, node)
+        return [node]
+
+    def _loop(self, stmt, preds, break_to, continue_to) -> list[int]:
+        head = self.statement(stmt)  # test / iterator advance
+        self._link(preds, head)
+        breaks: list[int] = []
+        body_exit = self.body(stmt.body, [head], breaks, head)
+        self._link(body_exit, head)  # back edge
+        after: list[int] = breaks
+        if stmt.orelse:
+            after = after + self.body(stmt.orelse, [head], break_to,
+                                      continue_to)
+        else:
+            after = after + [head]  # zero-iteration / loop-done path
+        return after
+
+    def _try(self, stmt, preds, break_to, continue_to) -> list[int]:
+        # handler entries are synthetic nodes carrying the ExceptHandler,
+        # so clients can special-case rollback handlers in transfer
+        handler_entries = [self.new_node(handler)
+                           for handler in stmt.handlers]
+        if handler_entries:
+            self._handlers.append(handler_entries)
+        try:
+            body_exit = self.body(stmt.body, preds, break_to, continue_to)
+        finally:
+            if handler_entries:
+                self._handlers.pop()
+        exits: list[int] = []
+        if stmt.orelse:
+            exits += self.body(stmt.orelse, body_exit, break_to,
+                               continue_to)
+        else:
+            exits += body_exit
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            exits += self.body(handler.body, [entry], break_to,
+                               continue_to)
+        if stmt.finalbody:
+            exits = self.body(stmt.finalbody, exits, break_to,
+                              continue_to)
+        return exits
+
+    def _link(self, preds: list[int], target: int) -> None:
+        for pred in preds:
+            self.edge(pred, target)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef,
+              may_raise: Callable[[ast.AST], bool] | None = None) -> CFG:
+    """Build the statement-level CFG of one function body."""
+    builder = _Builder(may_raise or default_may_raise)
+    exits = builder.body(list(func.body), [builder.cfg.entry], None, None)
+    for node in exits:
+        builder.edge(node, builder.cfg.exit)
+    return builder.cfg
+
+
+#: safety bound on fixpoint iterations (nodes * lattice height is the
+#: honest bound; this is far above any realistic function)
+MAX_STEPS = 100_000
+
+
+def analyse_forward(cfg: CFG, init: Any,
+                    transfer: Callable[[ast.AST | None, Any], Any],
+                    join: Callable[[Any, Any], Any],
+                    exc_state: Callable[[ast.AST | None, Any], Any]
+                    | None = None) -> dict[int, Any]:
+    """Forward abstract interpretation to fixpoint.
+
+    Returns the state at the *entry* of every reachable node.  The exit
+    state of the function is ``states[cfg.exit]``; the state carried by
+    escaped exceptions is ``states[cfg.raise_exit]`` (absent when no
+    exception can escape).
+
+    ``transfer(stmt, state)`` maps a statement's entry state to its
+    normal-completion state; ``exc_state(stmt, state)`` maps it to the
+    state an exceptional edge carries (default: the entry state itself —
+    the statement's effects did not happen).  ``join`` must be
+    commutative, associative and idempotent, and the lattice must be
+    finite for termination; states must support ``==``.
+    """
+    if exc_state is None:
+        exc_state = lambda stmt, state: state  # noqa: E731
+    states: dict[int, Any] = {cfg.entry: init}
+    worklist = [cfg.entry]
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > MAX_STEPS:
+            raise VerificationError(
+                "dataflow fixpoint did not converge (non-monotone "
+                "transfer or infinite lattice?)")
+        node = worklist.pop()
+        state = states[node]
+        stmt = cfg.stmts.get(node)
+        for target, kind in cfg.succ.get(node, ()):
+            out = (transfer(stmt, state) if kind == NORMAL
+                   else exc_state(stmt, state))
+            if target in states:
+                merged = join(states[target], out)
+                if merged == states[target]:
+                    continue
+                states[target] = merged
+            else:
+                states[target] = out
+            worklist.append(target)
+    return states
+
+
+def iter_functions(tree: ast.AST) -> Iterator[
+        tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield every (qualified name, function) in a module, methods too."""
+    def walk(node: ast.AST, prefix: str) -> Iterator[
+            tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child
+                yield from walk(child, f"{name}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+    yield from walk(tree, "")

@@ -18,8 +18,12 @@ root (by default the installed ``repro`` package) and flags:
 * ``lint:float-equality`` — ``==`` / ``!=`` against a float literal in
   the strict zones, where threshold comparisons must be orderings.
 
-A line ending in ``# verify: allow`` is exempt (the escape hatch for a
-justified exception; use sparingly).
+These four *pattern* rules register into the
+:mod:`repro.verify.rules` registry alongside the flow analyzers, so the
+driver, the suppression comments (``# verify: allow=<rule-id>``; see
+:mod:`repro.verify.suppress`) and the reporting order are shared.
+:func:`lint_file` / :func:`lint_tree` remain the narrow entry points
+that run only these rules.
 """
 
 from __future__ import annotations
@@ -28,9 +32,29 @@ import ast
 from pathlib import Path
 
 from .report import Finding
+from .rules import STRICT_ZONES, FileContext, checker, rule
 
-#: subtrees where every rule applies (the reproducibility-critical code)
-STRICT_ZONES = ("core", "sim", "opsys")
+#: the determinism rules this module implements
+LINT_RULE_IDS = ("lint:wall-clock", "lint:unseeded-random",
+                 "lint:mutable-default", "lint:float-equality")
+
+rule("lint:wall-clock",
+     "host clock read in simulated/deterministic code",
+     example="stamp = time.time()",
+     remedy="use the simulator's clock (os.now); duration measurement "
+            "with perf_counter is legal outside the strict zones")
+rule("lint:unseeded-random",
+     "randomness without an explicit seed",
+     example="random.choice(items)",
+     remedy="pass a seeded random.Random / default_rng(seed) instance")
+rule("lint:mutable-default",
+     "mutable default argument shared across calls",
+     example="def collect(into=[]): ...",
+     remedy="default to None and allocate inside the function")
+rule("lint:float-equality",
+     "== / != against a float literal in a strict zone",
+     example="if load == 0.5: ...",
+     remedy="compare with an ordering or math.isclose")
 
 #: time.<attr> reads that are wall-clock everywhere
 _WALL_CLOCK = {"time", "time_ns", "ctime", "localtime", "gmtime",
@@ -126,18 +150,10 @@ class _FileLinter(ast.NodeVisitor):
 
     # -- findings ------------------------------------------------------
 
-    def _allowed(self, node: ast.AST) -> bool:
-        line = getattr(node, "lineno", 0)
-        if 1 <= line <= len(self.lines):
-            return self.lines[line - 1].rstrip().endswith(
-                "# verify: allow")
-        return False
-
     def _report(self, node: ast.AST, check: str, message: str) -> None:
-        if not self._allowed(node):
-            self.findings.append(Finding(
-                check, message,
-                location=f"{self.relative}:{getattr(node, 'lineno', 0)}"))
+        self.findings.append(Finding.at(
+            check, message, self.relative, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", -1) + 1))
 
     def _flag_clock(self, node: ast.AST, func: str, dotted: str) -> None:
         if func in _WALL_CLOCK or func in _DATETIME_NOW:
@@ -242,30 +258,31 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_file(path: Path, relative: str | None = None,
-              strict: bool | None = None) -> list[Finding]:
-    """Lint one file; ``strict`` defaults to zone membership."""
-    relative = relative if relative is not None else path.name
-    if strict is None:
-        parts = Path(relative).parts
-        strict = any(zone in parts for zone in STRICT_ZONES)
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding("lint:wall-clock",
-                        f"file does not parse: {exc.msg}",
-                        location=f"{relative}:{exc.lineno or 0}")]
-    linter = _FileLinter(path, relative, strict, source.splitlines())
-    linter.visit(tree)
+@checker(*LINT_RULE_IDS)
+def check_determinism(ctx: FileContext) -> list[Finding]:
+    """The registry entry point: run every pattern rule over one file."""
+    linter = _FileLinter(ctx.path, ctx.relative, ctx.strict, ctx.lines)
+    linter.visit(ctx.tree)
     return linter.findings
 
 
+def lint_file(path: Path, relative: str | None = None,
+              strict: bool | None = None) -> list[Finding]:
+    """Run only the determinism rules over one file.
+
+    ``strict`` defaults to zone membership (:data:`STRICT_ZONES` in the
+    relative path).  Suppression comments apply; the suppression-audit
+    warnings are included in the result.
+    """
+    from .rules import run_file
+    return run_file(Path(path), relative, strict, rules=LINT_RULE_IDS)
+
+
 def lint_tree(root: Path) -> list[Finding]:
-    """Lint every ``*.py`` under ``root``; locations are root-relative."""
-    root = Path(root)
-    findings: list[Finding] = []
-    for path in sorted(root.rglob("*.py")):
-        relative = path.relative_to(root).as_posix()
-        findings.extend(lint_file(path, relative))
-    return findings
+    """Run the determinism rules over every ``*.py`` under ``root``."""
+    from .rules import run_tree
+    return run_tree(Path(root), rules=LINT_RULE_IDS)
+
+
+__all__ = ["LINT_RULE_IDS", "STRICT_ZONES", "lint_file", "lint_tree",
+           "check_determinism"]

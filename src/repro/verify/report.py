@@ -18,6 +18,10 @@ CHECK_ORDER = (
     "structure", "p-invariant", "t-invariant", "guard-coverage",
     "reachability", "lint:wall-clock", "lint:unseeded-random",
     "lint:mutable-default", "lint:float-equality",
+    "flow:lease-rollback", "flow:lease-unpaired",
+    "flow:lease-outside-actuator", "flow:spawn-unpicklable",
+    "flow:spawn-global-mutable", "flow:set-iteration",
+    "lint:blanket-allow", "lint:unused-suppression",
 )
 
 
@@ -28,31 +32,68 @@ class Finding:
     Attributes
     ----------
     check:
-        Which analysis produced the finding (see :data:`CHECK_ORDER`).
+        Which analysis produced the finding (see :data:`CHECK_ORDER`);
+        for source rules this is the rule id from the rule registry.
     message:
         Human-readable statement of the violated property.
     location:
-        Where: a ``file:line`` for lint findings, a place/transition name
-        or a marking description for model findings; empty when global.
+        Where: ``file:line:col`` for source findings, a place/transition
+        name or a marking description for model findings; empty when
+        global.
     severity:
         ``"error"`` (fails verification) or ``"warning"`` (reported,
         does not fail).
+    path / line / col:
+        Structured position for source findings (``col`` is 1-based, as
+        editors count; 0 means "no column").  Model findings leave all
+        three empty/zero, which sorts them ahead of source findings.
     """
 
     check: str
     message: str
     location: str = ""
     severity: str = "error"
+    path: str = ""
+    line: int = 0
+    col: int = 0
+
+    @classmethod
+    def at(cls, check: str, message: str, path: str, line: int,
+           col: int = 0, severity: str = "error") -> "Finding":
+        """A source finding with a structured position."""
+        suffix = f":{col}" if col else ""
+        return cls(check, message, location=f"{path}:{line}{suffix}",
+                   severity=severity, path=path, line=line, col=col)
+
+    def sort_key(self) -> tuple:
+        """The stable order: severity, path, line, col, rule id.
+
+        Errors sort before warnings; model findings (no path) sort by
+        the canonical :data:`CHECK_ORDER` rank; source findings sort
+        positionally so ``--json`` output diffs cleanly across runs.
+        """
+        try:
+            rank = CHECK_ORDER.index(self.check)
+        except ValueError:
+            rank = len(CHECK_ORDER)
+        return (0 if self.severity == "error" else 1, self.path,
+                self.line, self.col, rank, self.check, self.message)
 
     def render(self) -> str:
         """One display line, e.g. ``guard-coverage: gap at u=15 (...)``."""
         where = f" [{self.location}]" if self.location else ""
         return f"{self.check}: {self.message}{where}"
 
-    def as_dict(self) -> dict[str, str]:
+    def as_dict(self) -> dict[str, object]:
         """JSON-ready mapping."""
-        return {"check": self.check, "severity": self.severity,
-                "message": self.message, "location": self.location}
+        payload: dict[str, object] = {
+            "check": self.check, "severity": self.severity,
+            "message": self.message, "location": self.location}
+        if self.path:
+            payload["path"] = self.path
+            payload["line"] = self.line
+            payload["col"] = self.col
+        return payload
 
 
 @dataclass
@@ -82,15 +123,8 @@ class VerificationReport:
         self.findings.extend(other.findings)
 
     def sorted_findings(self) -> list[Finding]:
-        """Findings in :data:`CHECK_ORDER`, errors before warnings."""
-        def key(finding: Finding) -> tuple[int, int, str]:
-            try:
-                rank = CHECK_ORDER.index(finding.check)
-            except ValueError:
-                rank = len(CHECK_ORDER)
-            return (0 if finding.severity == "error" else 1, rank,
-                    finding.location)
-        return sorted(self.findings, key=key)
+        """Findings in the stable order of :meth:`Finding.sort_key`."""
+        return sorted(self.findings, key=Finding.sort_key)
 
     def render(self) -> str:
         """Multi-line human-readable summary."""

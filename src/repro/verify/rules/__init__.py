@@ -1,0 +1,204 @@
+"""The rule registry: every source rule, pattern or flow, in one table.
+
+A *rule* is metadata (:class:`Rule`: id, summary, severity, zones, an
+example and a remedy for the docs); a *checker* is a function running
+one or more rules over one parsed file (:class:`FileContext` in, list of
+:class:`~repro.verify.report.Finding` out).  The legacy determinism lint
+(:mod:`repro.verify.lint`) and the protocol analyzers
+(:mod:`~repro.verify.rules.lease`, :mod:`~repro.verify.rules.spawn`,
+:mod:`~repro.verify.rules.ordering`) all register here, so the driver —
+:func:`run_file` / :func:`run_tree`, behind ``repro verify`` — is one
+loop, suppression handling (:mod:`repro.verify.suppress`) is applied
+exactly once, and a new rule is a module that calls :func:`rule` and
+:func:`checker` at import time (see ``docs/static_analysis.md``,
+"writing a new rule").
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..report import Finding
+from ..suppress import apply_suppressions, scan_suppressions
+
+#: subtrees where the reproducibility-critical rules apply
+STRICT_ZONES = ("core", "sim", "opsys")
+
+#: subtrees whose object graphs cross the spawn/snapshot boundary
+SPAWN_ZONES = ("sim", "opsys", "runner")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule's metadata (the catalog entry)."""
+
+    id: str
+    summary: str
+    severity: str = "error"
+    #: path components gating the rule ("" entry = applies everywhere)
+    zones: tuple[str, ...] = ()
+    example: str = ""
+    remedy: str = ""
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may inspect about one file."""
+
+    path: Path
+    relative: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    #: whether the file sits in a reproducibility-critical zone
+    strict: bool
+
+    def in_zone(self, zones: Iterable[str]) -> bool:
+        parts = Path(self.relative).parts
+        return any(zone in parts for zone in zones)
+
+
+Checker = Callable[[FileContext], list[Finding]]
+
+#: rule id -> metadata
+RULES: dict[str, Rule] = {}
+#: every registered checker with the rule ids it may emit
+CHECKERS: list[tuple[tuple[str, ...], Checker]] = []
+
+
+def rule(id: str, summary: str, severity: str = "error",
+         zones: tuple[str, ...] = (), example: str = "",
+         remedy: str = "") -> Rule:
+    """Register (or re-register, idempotently) one rule's metadata."""
+    entry = Rule(id, summary, severity, zones, example, remedy)
+    RULES[id] = entry
+    return entry
+
+
+def checker(*rule_ids: str) -> Callable[[Checker], Checker]:
+    """Decorator registering a checker for the rules it implements."""
+    def wrap(fn: Checker) -> Checker:
+        CHECKERS.append((rule_ids, fn))
+        return fn
+    return wrap
+
+
+_loaded = False
+
+
+def ensure_loaded() -> None:
+    """Import every rule module exactly once (registration side-effect)."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from .. import lint  # noqa: F401  (registers the determinism lint)
+    from . import lease, ordering, spawn  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (the catalog)."""
+    ensure_loaded()
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def rule_ids() -> list[str]:
+    ensure_loaded()
+    return sorted(RULES)
+
+
+@dataclass
+class _ParseFailure:
+    finding: Finding
+
+
+def _parse(path: Path, relative: str,
+           strict: bool | None) -> FileContext | _ParseFailure:
+    source = path.read_text(encoding="utf-8")
+    if strict is None:
+        parts = Path(relative).parts
+        strict = any(zone in parts for zone in STRICT_ZONES)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return _ParseFailure(Finding.at(
+            "parse-error", f"file does not parse: {exc.msg}",
+            relative, exc.lineno or 0, exc.offset or 0))
+    return FileContext(path=path, relative=relative, source=source,
+                       lines=source.splitlines(), tree=tree,
+                       strict=strict)
+
+
+def run_file(path: Path, relative: str | None = None,
+             strict: bool | None = None,
+             rules: Iterable[str] | None = None) -> list[Finding]:
+    """Run registered rules over one file; suppressions applied.
+
+    ``rules`` restricts the run to the given rule ids (``None`` = all).
+    The returned findings are in the stable (path, line, col, rule)
+    order and include the suppression-audit warnings.
+    """
+    ensure_loaded()
+    relative = relative if relative is not None else path.name
+    context = _parse(Path(path), relative, strict)
+    if isinstance(context, _ParseFailure):
+        return [context.finding]
+    enabled = set(rules) if rules is not None else None
+    findings: list[Finding] = []
+    for ids, check in CHECKERS:
+        if enabled is not None and not enabled.intersection(ids):
+            continue
+        produced = check(context)
+        if enabled is not None:
+            produced = [f for f in produced if f.check in enabled]
+        findings.extend(produced)
+    suppressions = scan_suppressions(context.lines)
+    findings = apply_suppressions(findings, suppressions, relative,
+                                  enabled=enabled)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def run_tree(root: Path, rules: Iterable[str] | None = None,
+             files: Iterable[Path] | None = None) -> list[Finding]:
+    """Run rules over every ``*.py`` under ``root`` (or just ``files``).
+
+    Locations are root-relative; output is in the stable order.
+    """
+    root = Path(root)
+    if files is None:
+        paths = sorted(root.rglob("*.py"))
+    else:
+        paths = [Path(f) for f in files]
+    findings: list[Finding] = []
+    for path in paths:
+        try:
+            relative = path.relative_to(root).as_posix()
+        except ValueError:
+            relative = path.as_posix()
+        findings.extend(run_file(path, relative, rules=rules))
+    return sorted(findings, key=Finding.sort_key)
+
+
+# the rules the driver itself emits (suppression audit + parse failures)
+rule("lint:blanket-allow",
+     "blanket '# verify: allow' instead of the scoped form",
+     severity="warning",
+     example="x = time.time()  # verify: allow",
+     remedy="name the rules: '# verify: allow=lint:wall-clock'")
+rule("lint:unused-suppression",
+     "allow comment that silences nothing",
+     severity="warning",
+     example="x = 1  # verify: allow=lint:wall-clock",
+     remedy="delete the stale comment")
+rule("parse-error", "file does not parse",
+     remedy="fix the syntax error")
+
+
+__all__ = [
+    "Rule", "FileContext", "RULES", "CHECKERS", "STRICT_ZONES",
+    "SPAWN_ZONES", "rule", "checker", "all_rules", "rule_ids",
+    "run_file", "run_tree", "ensure_loaded",
+]

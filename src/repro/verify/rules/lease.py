@@ -1,0 +1,308 @@
+"""Lease typestate: the acquire/release protocol, checked statically.
+
+Cores move between tenants only through
+:class:`~repro.opsys.inventory.CoreInventory` transitions; the PrT-net
+invariants PR 1 proves hold only if the code driving the inventory obeys
+the protocol.  Three rules enforce it:
+
+``flow:lease-outside-actuator`` (pattern)
+    Inventory mutations (``.acquire`` / ``.release`` / ``.seed`` on an
+    inventory receiver) and cpuset mutations (``.allow`` /
+    ``.disallow`` / ``.set_mask`` on a cpuset receiver) are only legal
+    in the modules that *are* the mechanism: the inventory itself, the
+    cpuset itself and the :class:`~repro.control.stages.LeaseActuator`.
+    Anywhere else — an experiment reaching into ``os.inventory``, a
+    planner editing a mask — bypasses tenant arbitration.
+
+``flow:lease-rollback`` (flow)
+    In a function that performs *multi-step* acquisition (several
+    ``acquire`` sites, or an ``acquire`` inside a loop), an exception
+    escaping the function while at least one core may already be held
+    leaks a partial acquisition: the tenant's model re-syncs, but the
+    ledger keeps cores no code path will return.  A handler whose body
+    contains a ``release`` call counts as a rollback handler and clears
+    the abstract state.
+
+``flow:lease-unpaired`` (flow)
+    In a function containing both ``acquire`` and ``release`` sites,
+    the normal exits must agree: if one path leaves with a net-positive
+    held count while another leaves balanced, some branch forgot its
+    release (the classic early-``return`` teardown bug).
+
+The abstract state is the set of possible net-held counts, saturated at
+two: ``{0}``, ``{0,1}``, ... ``{0,1,2+}`` — a finite lattice, so the
+forward fixpoint of :mod:`repro.verify.flow` terminates.  Receivers are
+matched by name: a dotted chain containing ``inventory`` (or exactly
+``inv``) for lease calls, ``cpuset`` for mask calls.  That is a lint
+heuristic, not alias analysis — and it is exactly what makes the rule
+cheap enough to gate CI on.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..flow import (analyse_forward, build_cfg, executed_parts,
+                    iter_functions, shallow_walk)
+from ..report import Finding
+from . import FileContext, checker, rule
+
+rule("flow:lease-outside-actuator",
+     "inventory/cpuset mutation outside the lease mechanism",
+     example="os.inventory.acquire('db', 3)  # in an experiment",
+     remedy="route the change through a LeaseActuator (or a "
+            "DryRunActuator) so tenant arbitration applies")
+rule("flow:lease-rollback",
+     "partial multi-core acquisition can escape on an exception "
+     "without rollback",
+     example="for c in cores: inventory.acquire(t, c)  # 2nd raises",
+     remedy="wrap the loop in try/except, release the already-acquired "
+            "cores in the handler, re-raise")
+rule("flow:lease-unpaired",
+     "acquire without a matching release on some normal path",
+     example="if fast: return  # skips inventory.release below",
+     remedy="release on every exit (try/finally), or scope-allow with "
+            "a justification if the function transfers ownership")
+
+#: files that ARE the mechanism: inventory mutations are their job
+_INVENTORY_HOME = ("opsys/inventory.py", "control/stages.py")
+#: files allowed to edit cpuset masks directly
+_CPUSET_HOME = ("opsys/cpuset.py", "opsys/inventory.py")
+
+_INVENTORY_METHODS = {"acquire", "release", "seed"}
+_CPUSET_METHODS = {"allow", "disallow", "set_mask"}
+
+#: saturation point of the held-count lattice
+_MANY = 2
+
+
+def _receiver_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty when not a pure chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _is_inventory_receiver(chain: list[str]) -> bool:
+    return any("inventory" in part or part == "inv" for part in chain)
+
+
+def _is_cpuset_receiver(chain: list[str]) -> bool:
+    return any("cpuset" in part for part in chain)
+
+
+def classify_call(call: ast.Call) -> str | None:
+    """``"acquire"`` / ``"release"`` / ``"seed"`` / ``"cpuset"`` / None."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    method = call.func.attr
+    chain = _receiver_chain(call.func.value)
+    if not chain:
+        return None
+    if method in _INVENTORY_METHODS and _is_inventory_receiver(chain):
+        return method
+    if method in _CPUSET_METHODS and _is_cpuset_receiver(chain):
+        return "cpuset"
+    return None
+
+
+def _lease_calls(stmt: ast.AST | None) -> list[tuple[str, ast.Call]]:
+    """Every matched lease/cpuset call executed at this CFG node."""
+    found: list[tuple[str, ast.Call]] = []
+    for part in executed_parts(stmt):
+        for node in shallow_walk(part):
+            if isinstance(node, ast.Call):
+                kind = classify_call(node)
+                if kind is not None:
+                    found.append((kind, node))
+    return found
+
+
+# ----------------------------------------------------------------------
+# pattern rule: mutations outside the mechanism
+# ----------------------------------------------------------------------
+
+@checker("flow:lease-outside-actuator")
+def check_confinement(ctx: FileContext) -> list[Finding]:
+    relative = Path(ctx.relative).as_posix()
+    inventory_ok = any(relative.endswith(home)
+                       for home in _INVENTORY_HOME)
+    cpuset_ok = any(relative.endswith(home) for home in _CPUSET_HOME)
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = classify_call(node)
+        if kind is None:
+            continue
+        if kind == "cpuset" and not cpuset_ok:
+            findings.append(Finding.at(
+                "flow:lease-outside-actuator",
+                f"direct cpuset mutation "
+                f"'{ast.unparse(node.func)}' outside the lease "
+                f"mechanism bypasses tenant-mask arbitration",
+                ctx.relative, node.lineno, node.col_offset + 1))
+        elif kind != "cpuset" and not inventory_ok:
+            findings.append(Finding.at(
+                "flow:lease-outside-actuator",
+                f"direct inventory mutation "
+                f"'{ast.unparse(node.func)}' outside a LeaseActuator "
+                f"bypasses tenant arbitration",
+                ctx.relative, node.lineno, node.col_offset + 1))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# flow rules: typestate over the held-count lattice
+# ----------------------------------------------------------------------
+
+def _shift(state: frozenset[int], delta: int) -> frozenset[int]:
+    return frozenset(min(max(count + delta, 0), _MANY)
+                     for count in state)
+
+
+def _transfer(stmt: ast.AST | None,
+              state: frozenset[int]) -> frozenset[int]:
+    if isinstance(stmt, ast.ExceptHandler):
+        # a handler whose body releases is a rollback handler: it is
+        # trusted to return every partially-acquired core
+        if _handler_rolls_back(stmt):
+            return frozenset({0})
+        return state
+    for kind, _ in _lease_calls(stmt):
+        if kind == "acquire":
+            state = _shift(state, +1)
+        elif kind == "release":
+            state = _shift(state, -1)
+        # "seed" replaces the whole lease set atomically; "cpuset"
+        # mutations do not change the held count
+    return state
+
+
+def _handler_rolls_back(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and classify_call(node) == "release":
+                return True
+    return False
+
+
+def exit_states(func: ast.FunctionDef | ast.AsyncFunctionDef
+                ) -> tuple[frozenset[int], frozenset[int] | None]:
+    """(normal-exit states, escaped-exception states or ``None``).
+
+    The public seam the property tests drive: the abstract held counts
+    the fixpoint computes for one function, with no reporting heuristics
+    applied.
+    """
+    cfg = build_cfg(func)
+    states = analyse_forward(cfg, frozenset({0}), _transfer,
+                             lambda a, b: a | b)
+    return (states.get(cfg.exit, frozenset()),
+            states.get(cfg.raise_exit))
+
+
+def _acquire_sites(func: ast.AST) -> list[ast.Call]:
+    sites = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) \
+                and classify_call(node) == "acquire":
+            sites.append(node)
+    return sites
+
+
+def _has_normal_release(func: ast.AST) -> bool:
+    """A ``release`` site outside every except handler.
+
+    Releases inside a handler are rollback compensation, not
+    normal-path pairing — a function whose only releases roll back
+    (the remedy ``flow:lease-rollback`` prescribes) must not trip the
+    unpaired rule for following that advice.
+    """
+    rollback: set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.ExceptHandler):
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Call) \
+                            and classify_call(inner) == "release":
+                        rollback.add(id(inner))
+    return any(isinstance(node, ast.Call)
+               and classify_call(node) == "release"
+               and id(node) not in rollback
+               for node in ast.walk(func))
+
+
+def _acquire_in_loop(func: ast.FunctionDef | ast.AsyncFunctionDef
+                     ) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            if any(isinstance(inner, ast.Call)
+                   and classify_call(inner) == "acquire"
+                   for stmt in node.body for inner in ast.walk(stmt)):
+                return True
+    return False
+
+
+@checker("flow:lease-rollback", "flow:lease-unpaired")
+def check_typestate(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for name, func in iter_functions(ctx.tree):
+        acquires = _acquire_sites(func)
+        if not acquires:
+            continue
+        multi_step = len(acquires) > 1 or _acquire_in_loop(func)
+        cfg = build_cfg(func)
+        states = analyse_forward(cfg, frozenset({0}), _transfer,
+                                 lambda a, b: a | b)
+        if multi_step:
+            findings.extend(_rollback_findings(ctx, name, cfg, states))
+        if _has_normal_release(func):
+            normal = states.get(cfg.exit, frozenset())
+            if 0 in normal and any(count > 0 for count in normal):
+                findings.append(Finding.at(
+                    "flow:lease-unpaired",
+                    f"{name}() releases on some paths but can exit "
+                    f"holding {max(normal)}+ unreleased acquisition(s) "
+                    f"on another",
+                    ctx.relative, func.lineno, func.col_offset + 1))
+    return findings
+
+
+def _rollback_findings(ctx: FileContext, name: str, cfg,
+                       states) -> list[Finding]:
+    """Flag the first raising statement that escapes with held leases.
+
+    Several statements usually qualify at once (every call in the
+    acquisition loop); one finding per function, at the earliest such
+    site, keeps the report actionable.
+    """
+    sites: list[tuple[int, int, int]] = []
+    for node, stmt in cfg.stmts.items():
+        if node not in states or stmt is None:
+            continue
+        escapes = any(target == cfg.raise_exit and kind == "exc"
+                      for target, kind in cfg.succ.get(node, ()))
+        if not escapes:
+            continue
+        held = [count for count in states[node] if count > 0]
+        if held:
+            sites.append((getattr(stmt, "lineno", 0),
+                          getattr(stmt, "col_offset", -1) + 1,
+                          max(held)))
+    if not sites:
+        return []
+    line, col, held_max = min(sites)
+    return [Finding.at(
+        "flow:lease-rollback",
+        f"an exception here escapes {name}() while up to {held_max}+ "
+        f"core(s) of a multi-step acquisition are held; no rollback "
+        f"handler releases them",
+        ctx.relative, line, col)]

@@ -1,0 +1,230 @@
+"""Ordering nondeterminism: set iteration order must never reach a trace.
+
+The golden-trace tests pin *dynamically* that the same seed yields the
+same bytes; iteration over a ``set``/``frozenset`` is the classic way to
+lose that property while every test still passes on one interpreter
+build (CPython hashes small ints stably, so the bug ships and detonates
+on the next platform).  ``flow:set-iteration`` makes the guarantee
+static inside the strict zones (``core/``, ``sim/``, ``opsys/``): any
+expression that *may* hold a set — tracked per function by forward
+dataflow over assignments, augmented ops, set literals/constructors, the
+inventory/cpuset accessors that return ``frozenset`` (``allowed``,
+``mask_of``, ``free_cores``, ``unavailable_to``, ``own``, ``foreign``)
+and ``self.<attr>`` fields any method of the class assigns a set to —
+must not flow into an order-sensitive sink:
+
+* a ``for`` loop or an ordered comprehension (list/dict/generator —
+  a set comprehension over a set is still unordered and stays legal);
+* ``list()`` / ``tuple()`` / ``iter()`` / ``enumerate()``;
+* ``.join()`` / ``.extend()`` arguments.
+
+Order-insensitive consumers (``len``, ``min``/``max`` with a total
+order, ``sorted``, ``any``/``all``, membership tests, set algebra) pass
+untouched — and ``sorted(s)`` is the canonical fix, which is why the
+rule never fires on its own remedy.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..flow import (analyse_forward, build_cfg, executed_parts,
+                    iter_functions, shallow_walk)
+from ..report import Finding
+from . import STRICT_ZONES, FileContext, checker, rule
+
+rule("flow:set-iteration",
+     "set iteration order flows into an order-sensitive construct",
+     zones=STRICT_ZONES,
+     example="for core in self.mask_of(tenant): ...",
+     remedy="iterate sorted(...) (or keep a sorted tuple alongside the "
+            "set, as CpuSet does)")
+
+#: repo methods documented to return a set/frozenset
+_SET_RETURNING = {"allowed", "mask_of", "free_cores", "unavailable_to",
+                  "own", "foreign"}
+#: set methods returning another set
+_SET_ALGEBRA = {"union", "difference", "intersection",
+                "symmetric_difference", "copy"}
+#: calls whose output order mirrors the argument's iteration order
+_ORDERED_CALLS = {"list", "tuple", "iter", "enumerate"}
+_ORDERED_METHODS = {"join", "extend"}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _key(expr: ast.expr) -> str | None:
+    """A trackable name: ``x`` or a short dotted ``self.attr`` chain."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or len(parts) > 2:
+        return None
+    parts.append(node.id)
+    return ".".join(parts[::-1])
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in ("set", "frozenset")
+
+
+def is_set_expr(expr: ast.expr | None,
+                state: frozenset[str]) -> bool:
+    """Whether ``expr`` may evaluate to a set under ``state``."""
+    if expr is None:
+        return False
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        key = _key(expr)
+        return key is not None and key in state
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_RETURNING:
+                return True
+            if func.attr in _SET_ALGEBRA \
+                    and is_set_expr(func.value, state):
+                return True
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+        return is_set_expr(expr.left, state) \
+            or is_set_expr(expr.right, state)
+    if isinstance(expr, ast.IfExp):
+        return is_set_expr(expr.body, state) \
+            or is_set_expr(expr.orelse, state)
+    return False
+
+
+def _assign_keys(target: ast.expr) -> list[str]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return [key for element in target.elts
+                for key in _assign_keys(element)]
+    key = _key(target)
+    return [key] if key is not None else []
+
+
+def _transfer(stmt: ast.AST | None,
+              state: frozenset[str]) -> frozenset[str]:
+    if stmt is None or isinstance(stmt, ast.ExceptHandler):
+        return state
+    if isinstance(stmt, ast.Assign):
+        is_set = is_set_expr(stmt.value, state)
+        for target in stmt.targets:
+            for key in _assign_keys(target):
+                state = state | {key} if is_set else state - {key}
+        return state
+    if isinstance(stmt, ast.AnnAssign):
+        key = _key(stmt.target)
+        if key is not None:
+            is_set = (_is_set_annotation(stmt.annotation)
+                      or is_set_expr(stmt.value, state))
+            state = state | {key} if is_set else state - {key}
+        return state
+    if isinstance(stmt, ast.AugAssign):
+        key = _key(stmt.target)
+        if key is not None and isinstance(stmt.op, _SET_OPS) \
+                and is_set_expr(stmt.value, state):
+            return state | {key}
+        return state
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # the loop variable holds *elements* of the iterable, not sets
+        removed = frozenset(_assign_keys(stmt.target))
+        return state - removed
+    return state
+
+
+def _initial_state(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                   attrs: frozenset[str]) -> frozenset[str]:
+    args = func.args
+    names = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg)
+    annotated = frozenset(
+        arg.arg for arg in names if _is_set_annotation(arg.annotation))
+    return annotated | attrs
+
+
+def class_set_attrs(klass: ast.ClassDef) -> frozenset[str]:
+    """``self.<attr>`` keys any method of ``klass`` assigns a set to."""
+    attrs: set[str] = set()
+    for node in klass.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        cfg = build_cfg(node)
+        states = analyse_forward(cfg, frozenset(), _transfer,
+                                 lambda a, b: a | b)
+        for keys in states.values():
+            attrs.update(key for key in keys if key.startswith("self."))
+    return frozenset(attrs)
+
+
+def _sink_findings(ctx: FileContext, stmt: ast.AST | None,
+                   state: frozenset[str]) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, how: str) -> None:
+        findings.append(Finding.at(
+            "flow:set-iteration",
+            f"{how} depends on set iteration order; wrap the set in "
+            f"sorted(...)",
+            ctx.relative, node.lineno, node.col_offset + 1))
+
+    if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+            and is_set_expr(stmt.iter, state):
+        flag(stmt.iter, "'for' loop over a set")
+    for part in executed_parts(stmt):
+        for node in shallow_walk(part):
+            if isinstance(node, (ast.ListComp, ast.DictComp,
+                                 ast.GeneratorExp)):
+                for generator in node.generators:
+                    if is_set_expr(generator.iter, state):
+                        flag(generator.iter,
+                             "ordered comprehension over a set")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) \
+                        and func.id in _ORDERED_CALLS \
+                        and node.args \
+                        and is_set_expr(node.args[0], state):
+                    flag(node, f"{func.id}() over a set")
+                elif isinstance(func, ast.Attribute) \
+                        and func.attr in _ORDERED_METHODS \
+                        and node.args \
+                        and is_set_expr(node.args[0], state):
+                    flag(node, f".{func.attr}() over a set")
+    return findings
+
+
+@checker("flow:set-iteration")
+def check_ordering(ctx: FileContext) -> list[Finding]:
+    if not ctx.strict:
+        return []
+    attrs_by_class: dict[ast.AST, frozenset[str]] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            attrs_by_class[node] = class_set_attrs(node)
+    owner: dict[ast.AST, frozenset[str]] = {}
+    for klass, attrs in attrs_by_class.items():
+        for node in klass.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                owner[node] = attrs
+    findings: list[Finding] = []
+    for _, func in iter_functions(ctx.tree):
+        cfg = build_cfg(func)
+        initial = _initial_state(func, owner.get(func, frozenset()))
+        states = analyse_forward(cfg, initial, _transfer,
+                                 lambda a, b: a | b)
+        for node, stmt in cfg.stmts.items():
+            if node in states and stmt is not None:
+                findings.extend(
+                    _sink_findings(ctx, stmt, states[node]))
+    return findings

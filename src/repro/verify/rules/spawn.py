@@ -1,0 +1,199 @@
+"""Spawn-safety: objects crossing the process/snapshot boundary must pickle.
+
+Two machines move whole object graphs between processes: the
+:mod:`repro.runner` spawn pool (tasks and their results pickle to
+workers) and :meth:`repro.sim.state.SimState.capture` (the entire warmed
+simulation graph — event heap callbacks, cpuset listener lists, thread
+``on_exit`` hooks — pickles into the snapshot payload).  A lambda or a
+function defined inside another function cannot be pickled by reference,
+so storing one anywhere in those graphs is a time bomb that only
+detonates when a warm-start or ``--parallel`` run first captures it —
+the exact bug class PR 5 had to hunt by hand.  Two rules make it
+static:
+
+``flow:spawn-unpicklable``
+    Inside the spawn zones (``sim/``, ``opsys/``, ``runner/``): a
+    lambda or nested function stored into an object attribute, or
+    passed to a graph-persisting sink (``subscribe``, ``schedule``,
+    ``reschedule``, ``capture``, ``spawn_thread``,
+    ``register_global_state``, or any ``on_exit=``/``callback=``/
+    ``listener=`` keyword), or bound to a module-level name (pickle
+    resolves functions by qualified name; ``<lambda>`` has none).
+    Transient uses — a ``key=lambda`` in ``sorted``/``min``/``max`` —
+    never enter a persisted graph and are not flagged.
+
+``flow:spawn-global-mutable``
+    A module-level mutable (list/dict/set literal or constructor bound
+    to a non-CONSTANT name) in ``sim/`` or ``opsys/`` lives outside
+    every object graph, so a snapshot silently forks *around* it and a
+    restored run sees the parent's state.  Such state must either be
+    named like a constant (``_REGISTRY``-style, declaring "shared by
+    design") or be registered through
+    :func:`repro.sim.state.register_global_state` so capture/restore
+    round-trips it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..report import Finding
+from . import SPAWN_ZONES, FileContext, checker, rule
+
+rule("flow:spawn-unpicklable",
+     "lambda/nested function reaches a pickled object graph",
+     zones=SPAWN_ZONES,
+     example="self.cpuset.subscribe(lambda a, r: counter.inc())",
+     remedy="use a module-level class with __call__ (picklable by "
+            "qualified name) instead of the closure")
+rule("flow:spawn-global-mutable",
+     "unregistered module-level mutable in a snapshot zone",
+     zones=("sim", "opsys"),
+     example="_pending = []  # at module scope in opsys/",
+     remedy="register it via register_global_state(...), or rename it "
+            "to CONSTANT_CASE if it is shared by design")
+
+#: method names whose callable arguments persist in an object graph
+_SINK_METHODS = {"subscribe", "schedule", "reschedule", "capture",
+                 "spawn_thread"}
+#: bare function names with the same property
+_SINK_FUNCTIONS = {"register_global_state"}
+#: keyword names that store a callback wherever they appear
+_SINK_KWARGS = {"on_exit", "callback", "listener"}
+
+#: constructors producing module-level mutable state
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "deque", "OrderedDict", "Counter"}
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+           ast.ClassDef)
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every AST node executed in ``scope`` itself (nested scopes cut)."""
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, _SCOPES):
+            continue
+        yield child
+        yield from _scope_nodes(child)
+
+
+def _scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, set[str]]]:
+    """(scope, names of functions local to that scope) pairs.
+
+    Module-level ``def``s pickle by qualified name and are excluded;
+    functions nested inside another function do not.
+    """
+    yield tree, set()
+
+    def walk(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child
+            walk_children = not isinstance(child, ast.Lambda)
+            if walk_children:
+                yield from walk(child)
+
+    for func in walk(tree):
+        local = {child.name for child in ast.walk(func)
+                 if isinstance(child, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))
+                 and child is not func}
+        yield func, local
+
+
+def _offender(node: ast.expr, local_funcs: set[str]) -> str | None:
+    """Why this argument/value cannot pickle, or ``None``."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.Name) and node.id in local_funcs:
+        return f"the nested function {node.id!r}"
+    return None
+
+
+@checker("flow:spawn-unpicklable")
+def check_unpicklable(ctx: FileContext) -> list[Finding]:
+    if not ctx.in_zone(SPAWN_ZONES):
+        return []
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, what: str, where: str) -> None:
+        findings.append(Finding.at(
+            "flow:spawn-unpicklable",
+            f"{what} {where} cannot pickle across the spawn/snapshot "
+            f"boundary; use a module-level class with __call__",
+            ctx.relative, node.lineno, node.col_offset + 1))
+
+    for scope, local_funcs in _scopes(ctx.tree):
+        at_module = isinstance(scope, ast.Module)
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.Assign):
+                why = _offender(node.value, local_funcs)
+                if why is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        flag(node.value, why,
+                             f"stored into attribute "
+                             f"'{ast.unparse(target)}'")
+                    elif at_module and isinstance(target, ast.Name):
+                        flag(node.value, why,
+                             f"bound to module-level name "
+                             f"{target.id!r}")
+            elif isinstance(node, ast.Call):
+                sink = None
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in _SINK_METHODS:
+                    sink = node.func.attr
+                elif isinstance(node.func, ast.Name) \
+                        and node.func.id in _SINK_FUNCTIONS:
+                    sink = node.func.id
+                if sink is not None:
+                    for arg in node.args:
+                        why = _offender(arg, local_funcs)
+                        if why is not None:
+                            flag(arg, why, f"passed to {sink}()")
+                for keyword in node.keywords:
+                    if keyword.arg in _SINK_KWARGS:
+                        why = _offender(keyword.value, local_funcs)
+                        if why is not None:
+                            flag(keyword.value, why,
+                                 f"passed as {keyword.arg}=")
+    return findings
+
+
+@checker("flow:spawn-global-mutable")
+def check_global_mutable(ctx: FileContext) -> list[Finding]:
+    if not ctx.in_zone(("sim", "opsys")):
+        return []
+    findings: list[Finding] = []
+    for stmt in ctx.tree.body:
+        value: ast.expr | None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        mutable = isinstance(value, (ast.List, ast.Dict, ast.Set)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CTORS)
+        if not mutable:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.upper() == name:  # CONSTANT_CASE: shared by design
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends are module metadata
+            findings.append(Finding.at(
+                "flow:spawn-global-mutable",
+                f"module-level mutable {name!r} lives outside every "
+                f"snapshot graph; register it via "
+                f"register_global_state or rename to CONSTANT_CASE",
+                ctx.relative, stmt.lineno, stmt.col_offset + 1))
+    return findings

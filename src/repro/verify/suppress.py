@@ -1,0 +1,106 @@
+"""Suppression comments: the scoped ``# verify: allow=<rule-id>`` hatch.
+
+A finding is silenced by a comment on the line it is reported at:
+
+* ``# verify: allow=<rule-id>[,<rule-id>...]`` — the scoped form;
+  suppresses only the named rules on that line;
+* ``# verify: allow`` — the legacy blanket form; still accepted (it
+  suppresses everything on the line) but reported as
+  ``lint:blanket-allow`` so it can be migrated to the scoped form.
+
+Suppression is applied *centrally*, after every rule has run, which is
+what makes the hatch auditable: a scoped allow that silences nothing is
+itself reported (``lint:unused-suppression``), so stale hatches cannot
+accumulate as invisible holes in the gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .report import Finding
+
+#: the allow comment, anchored to the end of the line
+_ALLOW_RE = re.compile(
+    r"#\s*verify:\s*allow(?:=(?P<ids>[A-Za-z0-9_:\-]+"
+    r"(?:\s*,\s*[A-Za-z0-9_:\-]+)*))?\s*$")
+
+
+@dataclass
+class Suppression:
+    """One allow comment in one file."""
+
+    line: int
+    #: rule ids named by the scoped form; empty tuple = blanket
+    rule_ids: tuple[str, ...]
+    #: ids (or "*" for blanket) that silenced at least one finding
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def blanket(self) -> bool:
+        return not self.rule_ids
+
+    def matches(self, check: str) -> bool:
+        return self.blanket or check in self.rule_ids
+
+
+def scan_suppressions(source_lines: list[str]) -> dict[int, Suppression]:
+    """Find every allow comment; keyed by 1-based line number."""
+    found: dict[int, Suppression] = {}
+    for number, text in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        rule_ids = (tuple(part.strip() for part in ids.split(","))
+                    if ids else ())
+        found[number] = Suppression(line=number, rule_ids=rule_ids)
+    return found
+
+
+def apply_suppressions(findings: list[Finding],
+                       suppressions: dict[int, Suppression],
+                       path: str,
+                       enabled: set[str] | None = None) -> list[Finding]:
+    """Filter ``findings`` through the file's allow comments.
+
+    Returns the surviving findings plus the audit findings the hatch
+    itself generates: one ``lint:blanket-allow`` warning per blanket
+    comment and one ``lint:unused-suppression`` warning per allow (or
+    per scoped rule id) that silenced nothing.  When only a subset of
+    rules ran (``enabled``), unused warnings are limited to allows for
+    rules that actually ran — an allow for a rule outside the subset is
+    not stale, it just was not exercised.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and suppression.matches(finding.check):
+            suppression.used.add(
+                finding.check if not suppression.blanket else "*")
+            continue
+        kept.append(finding)
+    for suppression in suppressions.values():
+        if suppression.blanket:
+            kept.append(Finding.at(
+                "lint:blanket-allow",
+                "blanket '# verify: allow' suppresses every rule on the "
+                "line; scope it: '# verify: allow=<rule-id>'",
+                path, suppression.line, severity="warning"))
+            if not suppression.used and enabled is None:
+                kept.append(Finding.at(
+                    "lint:unused-suppression",
+                    "allow comment matches no finding",
+                    path, suppression.line, severity="warning"))
+            continue
+        for rule_id in suppression.rule_ids:
+            if enabled is not None and rule_id not in enabled:
+                continue
+            if rule_id not in suppression.used:
+                kept.append(Finding.at(
+                    "lint:unused-suppression",
+                    f"allow for {rule_id!r} matches no finding on this "
+                    f"line",
+                    path, suppression.line, severity="warning"))
+    return kept

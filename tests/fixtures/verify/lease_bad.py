@@ -1,0 +1,35 @@
+"""Known-bad twin for the lease typestate rules.
+
+Each function violates exactly one rule (tests run them with a
+restricted rule set, so the confinement rule does not drown the flow
+rules).  Expected findings:
+
+* ``grow``      -> flow:lease-rollback (acquire in a loop, no handler)
+* ``split``     -> flow:lease-rollback (two acquire sites, second can
+                   escape while the first is held)
+* ``teardown``  -> flow:lease-unpaired (early return skips the release)
+* every ``inventory.*`` / ``cpuset.*`` call -> flow:lease-outside-actuator
+  when the file is placed outside the mechanism's home modules
+"""
+
+
+def grow(inventory, tenant, cores):
+    for core in cores:
+        inventory.acquire(tenant, core)
+
+
+def split(inventory, tenant, first, second):
+    inventory.acquire(tenant, first)
+    inventory.acquire(tenant, second)
+
+
+def teardown(inventory, tenant, core, fast):
+    inventory.acquire(tenant, core)
+    if fast:
+        return None
+    inventory.release(tenant, core)
+    return core
+
+
+def remask(cpuset, cores):
+    cpuset.set_mask(cores)

@@ -1,0 +1,39 @@
+"""Clean twin of ``lease_bad.py``: same shapes, protocol respected.
+
+* ``grow``     rolls a partial acquisition back in the handler;
+* ``split``    likewise, with two discrete sites;
+* ``teardown`` releases on every normal path (try/finally).
+
+None of the lease flow rules may fire on this file.
+"""
+
+
+def grow(inventory, tenant, cores):
+    acquired = []
+    try:
+        for core in cores:
+            inventory.acquire(tenant, core)
+            acquired.append(core)
+    except Exception:
+        for core in reversed(acquired):
+            inventory.release(tenant, core)
+        raise
+    return acquired
+
+
+def split(inventory, tenant, first, second):
+    inventory.acquire(tenant, first)
+    try:
+        inventory.acquire(tenant, second)
+    except Exception:
+        inventory.release(tenant, first)
+        raise
+
+
+def teardown(inventory, tenant, core, fast):
+    inventory.acquire(tenant, core)
+    try:
+        result = None if fast else core
+    finally:
+        inventory.release(tenant, core)
+    return result

@@ -1,0 +1,34 @@
+"""Known-bad twin for flow:set-iteration (run in a strict zone).
+
+Expected findings, one per function:
+
+* ``emit``     -> for-loop over a set-annotated parameter
+* ``snapshot`` -> list() over a set literal
+* ``masks``    -> ordered comprehension over a set-typed attribute
+* ``drain``    -> iteration over set algebra (union of two sets)
+"""
+
+
+def emit(trace, cores: set):
+    for core in cores:
+        trace.append(core)
+
+
+def snapshot():
+    free = {1, 2, 3}
+    return list(free)
+
+
+class Planner:
+    def __init__(self):
+        self.own = set()
+
+    def masks(self):
+        return [core + 1 for core in self.own]
+
+    def drain(self, extra: set):
+        merged = self.own | extra
+        out = []
+        for core in merged:
+            out.append(core)
+        return out

@@ -1,0 +1,29 @@
+"""Clean twin of ``ordering_bad.py``: same shapes, deterministic order.
+
+Sets are sorted before any order-sensitive use; producing another
+unordered set from a set (the SetComp in ``masks``) is allowed.
+"""
+
+
+def emit(trace, cores: set):
+    for core in sorted(cores):
+        trace.append(core)
+
+
+def snapshot():
+    free = {1, 2, 3}
+    return sorted(free)
+
+
+class Planner:
+    def __init__(self):
+        self.own = set()
+
+    def masks(self):
+        return {core + 1 for core in self.own}
+
+    def drain(self, extra: set):
+        out = []
+        for core in sorted(self.own | extra):
+            out.append(core)
+        return out

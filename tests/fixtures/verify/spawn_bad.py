@@ -1,0 +1,37 @@
+"""Known-bad twin for the spawn-safety rules (run in a spawn zone).
+
+Expected findings:
+
+* ``_pending``                  -> flow:spawn-global-mutable
+* ``Telemetry.attach``          -> flow:spawn-unpicklable (lambda to a
+                                   subscribe sink)
+* ``Telemetry.arm``             -> flow:spawn-unpicklable (nested
+                                   function stored into an attribute)
+* ``Telemetry.spawn``           -> flow:spawn-unpicklable (lambda as an
+                                   ``on_exit=`` keyword)
+* ``HOOK = lambda`` is fine (CONSTANT_CASE), but ``fallback`` below it
+  -> flow:spawn-unpicklable (lambda bound to a module-level name)
+"""
+
+_pending = []
+
+
+def fanout(pool, items):
+    return [pool.submit(item) for item in items]
+
+
+fallback = lambda result: result  # noqa: E731
+
+
+class Telemetry:
+    def attach(self, cpuset):
+        cpuset.subscribe(lambda added, removed: None)
+
+    def arm(self, pool):
+        def on_done(result):
+            return result
+
+        self.callback = on_done
+
+    def spawn(self, scheduler):
+        scheduler.spawn_thread("worker", on_exit=lambda t: None)

@@ -1,0 +1,28 @@
+"""Clean twin of ``spawn_bad.py``: everything crossing the boundary
+pickles by qualified name.
+
+* module state is CONSTANT_CASE (shared by design);
+* callbacks are module-level classes with ``__call__``;
+* the only lambda is a transient ``key=`` that never enters a graph.
+"""
+
+_REGISTRY = {}
+
+
+class MaskCounter:
+    """Picklable subscribe callback (module-level, ``__call__``)."""
+
+    def __init__(self):
+        self.changes = 0
+
+    def __call__(self, added, removed):
+        self.changes += len(added) + len(removed)
+
+
+class Telemetry:
+    def attach(self, cpuset):
+        self.counter = MaskCounter()
+        cpuset.subscribe(self.counter)
+
+    def pick(self, threads):
+        return sorted(threads, key=lambda thread: thread.name)

@@ -1,0 +1,224 @@
+"""The dataflow engine: CFG shape, fixpoint, and property tests.
+
+The property tests generate small structured programs (branches, loops,
+try/except rollback) from a mini-AST, render them to Python, and check
+the engine's fixpoint against an independent *structural* reference
+interpreter that never builds a CFG: both must agree on the set of
+abstract held-lease counts reachable at the normal exit and at the
+escaped-exception exit.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.flow import (build_cfg, default_may_raise,
+                               executed_parts, iter_functions)
+from repro.verify.rules.lease import exit_states
+
+
+def _parse_func(source: str, name: str = "f"):
+    tree = ast.parse(source)
+    return dict(iter_functions(tree))[name]
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+
+def test_straight_line_cfg_reaches_exit():
+    func = _parse_func("def f():\n    x = 1\n    y = 2\n    return y\n")
+    cfg = build_cfg(func)
+    # entry, exit, raise_exit plus one node per statement
+    assert len(cfg.stmts) >= 3 + 3
+    normal, raised = exit_states(func)
+    assert normal == frozenset({0})
+    assert not raised
+
+
+def test_branches_join():
+    func = _parse_func(
+        "def f(inv, t, c, flag):\n"
+        "    if flag:\n"
+        "        inv.acquire(t, c)\n")
+    normal, _ = exit_states(func)
+    assert normal == frozenset({0, 1})
+
+
+def test_loop_saturates_at_many():
+    func = _parse_func(
+        "def f(inv, t, cores):\n"
+        "    for c in cores:\n"
+        "        inv.acquire(t, c)\n")
+    normal, _ = exit_states(func)
+    assert normal == frozenset({0, 1, 2})
+
+
+def test_return_skips_following_code():
+    func = _parse_func(
+        "def f(inv, t, c):\n"
+        "    inv.acquire(t, c)\n"
+        "    return c\n"
+        "    inv.acquire(t, c)\n")
+    normal, _ = exit_states(func)
+    assert normal == frozenset({1})
+
+
+def test_exception_edge_routes_to_handler():
+    func = _parse_func(
+        "def f(inv, t, c):\n"
+        "    inv.acquire(t, c)\n"
+        "    try:\n"
+        "        inv.acquire(t, c)\n"
+        "    except Exception:\n"
+        "        inv.release(t, c)\n"
+        "        raise\n")
+    normal, raised = exit_states(func)
+    assert normal == frozenset({2})
+    # the rollback handler resets the abstract count before re-raising;
+    # the only other escape is the first acquire, with nothing held
+    assert raised == frozenset({0})
+
+
+def test_while_else_and_break():
+    func = _parse_func(
+        "def f(inv, t, c, flag):\n"
+        "    while flag:\n"
+        "        inv.acquire(t, c)\n"
+        "        break\n"
+        "    return c\n")
+    normal, _ = exit_states(func)
+    assert normal == frozenset({0, 1})
+
+
+def test_executed_parts_of_compounds_exclude_bodies():
+    module = ast.parse(
+        "if cond():\n"
+        "    body()\n"
+        "for x in items:\n"
+        "    body()\n")
+    if_stmt, for_stmt = module.body
+    if_parts = list(executed_parts(if_stmt))
+    assert if_parts == [if_stmt.test]
+    for_parts = list(executed_parts(for_stmt))
+    assert for_stmt.iter in for_parts
+    assert not any(isinstance(p, ast.Call) and
+                   getattr(p.func, "id", "") == "body"
+                   for part in for_parts for p in ast.walk(part))
+
+
+def test_default_may_raise_sees_header_only():
+    module = ast.parse("if flag:\n    risky()\n")
+    # the If node itself only evaluates `flag`: it cannot raise even
+    # though its body contains a call
+    assert not default_may_raise(module.body[0])
+    assert default_may_raise(ast.parse("risky()\n").body[0])
+
+
+def test_iter_functions_qualnames():
+    tree = ast.parse(
+        "def top():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "class K:\n"
+        "    def method(self):\n"
+        "        pass\n")
+    names = {name for name, _ in iter_functions(tree)}
+    assert names == {"top", "top.<locals>.inner", "K.method"}
+
+
+# ----------------------------------------------------------------------
+# property tests: fixpoint vs a structural reference interpreter
+# ----------------------------------------------------------------------
+
+_MANY = 2
+
+
+def _ref(node, states):
+    """(normal-out states, escaped states) — no CFG, pure structure."""
+    kind = node[0]
+    if kind == "pass":
+        return set(states), set()
+    if kind == "acq":
+        return {min(s + 1, _MANY) for s in states}, set(states)
+    if kind == "rel":
+        return {max(s - 1, 0) for s in states}, set(states)
+    if kind == "seq":
+        mid, r1 = _ref(node[1], states)
+        out, r2 = _ref(node[2], mid)
+        return out, r1 | r2
+    if kind == "if":
+        o1, r1 = _ref(node[1], states)
+        o2, r2 = _ref(node[2], states)
+        return o1 | o2, r1 | r2
+    if kind == "while":
+        head = set(states)
+        while True:
+            out, raises = _ref(node[1], head)
+            if head | out == head:
+                return head, raises
+            head |= out
+    if kind == "try":
+        out, raises = _ref(node[1], states)
+        # rollback handler: resets to 0, releases, re-raises
+        return out, ({0} if raises else set())
+    raise AssertionError(node)
+
+
+def _render(node, depth):
+    pad = "    " * depth
+    kind = node[0]
+    if kind == "pass":
+        return [f"{pad}x = 1"]
+    if kind == "acq":
+        return [f"{pad}inv.acquire(t, c)"]
+    if kind == "rel":
+        return [f"{pad}inv.release(t, c)"]
+    if kind == "seq":
+        return _render(node[1], depth) + _render(node[2], depth)
+    if kind == "if":
+        return ([f"{pad}if flag:"] + _render(node[1], depth + 1)
+                + [f"{pad}else:"] + _render(node[2], depth + 1))
+    if kind == "while":
+        return [f"{pad}while flag:"] + _render(node[1], depth + 1)
+    if kind == "try":
+        return ([f"{pad}try:"] + _render(node[1], depth + 1)
+                + [f"{pad}except Exception:",
+                   f"{pad}    inv.release(t, c)",
+                   f"{pad}    raise"])
+    raise AssertionError(node)
+
+
+_programs = st.recursive(
+    st.sampled_from([("pass",), ("acq",), ("rel",)]),
+    lambda inner: st.one_of(
+        st.tuples(st.just("seq"), inner, inner),
+        st.tuples(st.just("if"), inner, inner),
+        st.tuples(st.just("while"), inner),
+        st.tuples(st.just("try"), inner),
+    ),
+    max_leaves=12)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_programs)
+def test_fixpoint_matches_reference_interpreter(program):
+    source = ("def f(inv, t, c, flag):\n"
+              + "\n".join(_render(program, 1)))
+    func = _parse_func(source)
+    normal, raised = exit_states(func)
+    ref_normal, ref_raised = _ref(program, {0})
+    assert set(normal) == ref_normal, source
+    assert set(raised or frozenset()) == ref_raised, source
+
+
+@settings(max_examples=60, deadline=None)
+@given(_programs)
+def test_fixpoint_terminates_and_is_bounded(program):
+    source = ("def f(inv, t, c, flag):\n"
+              + "\n".join(_render(program, 1)))
+    func = _parse_func(source)
+    normal, raised = exit_states(func)
+    assert normal <= frozenset({0, 1, 2})
+    assert raised is None or raised <= frozenset({0, 1, 2})

@@ -19,7 +19,10 @@ def test_wall_clock_call_is_flagged(tmp_path):
                              "def tick():\n"
                              "    return time.time()\n")
     assert [f.check for f in findings] == ["lint:wall-clock"]
-    assert findings[0].location == "core/sample.py:3"
+    assert findings[0].path == "core/sample.py"
+    assert findings[0].line == 3
+    assert findings[0].col == 12
+    assert findings[0].location == "core/sample.py:3:12"
 
 
 def test_datetime_now_is_flagged(tmp_path):
@@ -93,12 +96,21 @@ def test_integer_equality_is_fine(tmp_path):
                          "def same(x):\n    return x == 3\n") == []
 
 
-def test_allow_comment_suppresses(tmp_path):
+def test_scoped_allow_comment_suppresses(tmp_path):
+    findings = _lint_snippet(
+        tmp_path, "import time\n"
+        "def tick():\n"
+        "    return time.time()  # verify: allow=lint:wall-clock\n")
+    assert findings == []
+
+
+def test_blanket_allow_still_suppresses_but_warns(tmp_path):
     findings = _lint_snippet(
         tmp_path, "import time\n"
         "def tick():\n"
         "    return time.time()  # verify: allow\n")
-    assert findings == []
+    assert [f.check for f in findings] == ["lint:blanket-allow"]
+    assert findings[0].severity == "warning"
 
 
 def test_lint_tree_walks_recursively(tmp_path):
@@ -107,12 +119,16 @@ def test_lint_tree_walks_recursively(tmp_path):
         "import time\nnow = time.time()\n")
     (tmp_path / "clean.py").write_text("x = 1\n")
     findings = lint_tree(tmp_path)
-    assert [f.location for f in findings] == ["core/a.py:2"]
+    assert [(f.path, f.line) for f in findings] == [("core/a.py", 2)]
 
 
 def test_shipped_source_tree_is_clean():
     report = verify_source_tree(SRC_ROOT)
     assert report.ok, report.render()
-    assert set(report.checks_run) == {
+    assert set(report.checks_run) >= {
         "lint:wall-clock", "lint:unseeded-random",
-        "lint:mutable-default", "lint:float-equality"}
+        "lint:mutable-default", "lint:float-equality",
+        "flow:lease-rollback", "flow:lease-unpaired",
+        "flow:lease-outside-actuator", "flow:spawn-unpicklable",
+        "flow:spawn-global-mutable", "flow:set-iteration"}
+    assert not report.findings, report.render()

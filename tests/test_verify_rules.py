@@ -1,0 +1,274 @@
+"""The protocol analyzers: fixtures, suppressions, baseline, registry.
+
+Every rule family has a known-bad fixture and a clean twin under
+``tests/fixtures/verify/``; each test runs one family over one fixture
+with a restricted rule set (so e.g. the confinement rule does not drown
+the typestate rules) and asserts the exact findings.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ProtocolLintError
+from repro.verify import (all_rules, apply_baseline, load_baseline,
+                          raise_on_findings, rule_ids, run_file,
+                          verify_files, verify_source_tree,
+                          write_baseline)
+from repro.verify.report import Finding
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "verify"
+
+LEASE_FLOW = ("flow:lease-rollback", "flow:lease-unpaired")
+
+
+def _run(name, relative, rules):
+    return run_file(FIXTURES / name, relative=relative, rules=rules)
+
+
+# ----------------------------------------------------------------------
+# lease typestate
+# ----------------------------------------------------------------------
+
+def test_lease_bad_fixture_findings():
+    findings = _run("lease_bad.py", "opsys/lease_bad.py", LEASE_FLOW)
+    by_check = {}
+    for f in findings:
+        by_check.setdefault(f.check, []).append(f)
+    # grow and split each leak a partial acquisition
+    assert len(by_check["flow:lease-rollback"]) == 2
+    # teardown's fast path exits holding the core
+    assert len(by_check["flow:lease-unpaired"]) == 1
+    assert set(by_check) == set(LEASE_FLOW)
+
+
+def test_lease_good_twin_is_clean():
+    assert _run("lease_good.py", "opsys/lease_good.py", LEASE_FLOW) == []
+
+
+def test_confinement_depends_on_location():
+    rules = ("flow:lease-outside-actuator",)
+    outside = _run("lease_bad.py", "experiments/lease_bad.py", rules)
+    # five inventory mutations plus one cpuset mutation
+    assert len(outside) == 6
+    assert {f.check for f in outside} == set(rules)
+    # the same calls are the mechanism's own job in its home module
+    assert _run("lease_bad.py", "opsys/inventory.py", rules) == []
+
+
+# ----------------------------------------------------------------------
+# spawn safety
+# ----------------------------------------------------------------------
+
+def test_spawn_bad_fixture_findings():
+    findings = _run("spawn_bad.py", "sim/spawn_bad.py",
+                    ("flow:spawn-unpicklable",
+                     "flow:spawn-global-mutable"))
+    checks = [f.check for f in findings]
+    assert checks.count("flow:spawn-global-mutable") == 1
+    # module-level lambda, subscribe sink, attribute store, on_exit=
+    assert checks.count("flow:spawn-unpicklable") == 4
+
+
+def test_spawn_good_twin_is_clean():
+    assert _run("spawn_good.py", "sim/spawn_good.py",
+                ("flow:spawn-unpicklable",
+                 "flow:spawn-global-mutable")) == []
+
+
+def test_spawn_rules_are_zone_gated():
+    assert _run("spawn_bad.py", "analysis/spawn_bad.py",
+                ("flow:spawn-unpicklable",)) == []
+
+
+def test_dunder_module_metadata_is_not_state():
+    # __all__ is a module-level list literal but not mutable state
+    findings = run_file(FIXTURES.parent.parent.parent
+                        / "src" / "repro" / "opsys" / "__init__.py",
+                        relative="opsys/__init__.py",
+                        rules=("flow:spawn-global-mutable",))
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# set-iteration ordering
+# ----------------------------------------------------------------------
+
+def test_ordering_bad_fixture_findings():
+    findings = _run("ordering_bad.py", "opsys/ordering_bad.py",
+                    ("flow:set-iteration",))
+    assert len(findings) == 4
+    assert {f.check for f in findings} == {"flow:set-iteration"}
+
+
+def test_ordering_good_twin_is_clean():
+    assert _run("ordering_good.py", "opsys/ordering_good.py",
+                ("flow:set-iteration",)) == []
+
+
+def test_ordering_rule_is_strict_zone_only():
+    assert _run("ordering_bad.py", "workloads/ordering_bad.py",
+                ("flow:set-iteration",)) == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+def _snippet(tmp_path, code, relative="opsys/sample.py", rules=None):
+    path = tmp_path / Path(relative).name
+    path.write_text(code)
+    return run_file(path, relative=relative, rules=rules)
+
+
+def test_scoped_allow_suppresses_named_rule(tmp_path):
+    findings = _snippet(
+        tmp_path,
+        "def snap(cores: set):\n"
+        "    return list(cores)  # verify: allow=flow:set-iteration\n")
+    assert findings == []
+
+
+def test_scoped_allow_leaves_other_rules_alone(tmp_path):
+    findings = _snippet(
+        tmp_path,
+        "import time\n"
+        "def snap(cores: set):\n"
+        "    return (list(cores),"
+        " time.time())  # verify: allow=flow:set-iteration\n")
+    assert [f.check for f in findings] == ["lint:wall-clock"]
+
+
+def test_unused_scoped_allow_is_reported(tmp_path):
+    findings = _snippet(
+        tmp_path,
+        "def snap(cores):\n"
+        "    return max(cores)  # verify: allow=flow:set-iteration\n")
+    assert [f.check for f in findings] == ["lint:unused-suppression"]
+    assert findings[0].severity == "warning"
+
+
+def test_unused_allow_not_reported_on_subset_runs(tmp_path):
+    # the allow names a rule that did not run: not stale, not exercised
+    findings = _snippet(
+        tmp_path,
+        "def snap(cores: set):\n"
+        "    return list(cores)  # verify: allow=flow:set-iteration\n",
+        rules=("lint:wall-clock",))
+    assert findings == []
+
+
+def test_multi_rule_allow(tmp_path):
+    findings = _snippet(
+        tmp_path,
+        "import time\n"
+        "def snap(cores: set):\n"
+        "    return (list(cores), time.time())"
+        "  # verify: allow=flow:set-iteration,lint:wall-clock\n")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# finding order, registry, escalation
+# ----------------------------------------------------------------------
+
+def test_findings_are_stably_sorted(tmp_path):
+    findings = _snippet(
+        tmp_path,
+        "import time\n"
+        "def b(cores: set):\n"
+        "    return list(cores)\n"
+        "def a():\n"
+        "    return time.time()\n")
+    keys = [(f.path, f.line, f.col) for f in findings]
+    assert keys == sorted(keys)
+    assert [f.check for f in findings] == [
+        "flow:set-iteration", "lint:wall-clock"]
+
+
+def test_registry_lists_every_rule_family():
+    ids = rule_ids()
+    assert {"flow:lease-rollback", "flow:lease-unpaired",
+            "flow:lease-outside-actuator", "flow:spawn-unpicklable",
+            "flow:spawn-global-mutable", "flow:set-iteration",
+            "lint:wall-clock", "lint:blanket-allow",
+            "lint:unused-suppression"} <= set(ids)
+    for entry in all_rules():
+        assert entry.summary
+        assert entry.severity in ("error", "warning")
+
+
+def test_unparseable_file_reports_parse_error(tmp_path):
+    findings = _snippet(tmp_path, "def broken(:\n")
+    assert [f.check for f in findings] == ["parse-error"]
+
+
+def test_flow_findings_escalate_to_protocol_error():
+    report = verify_files([FIXTURES / "ordering_bad.py"],
+                          root=FIXTURES,
+                          rules=("flow:set-iteration",))
+    # fixtures dir is not a strict zone; re-run against a strict name
+    findings = _run("ordering_bad.py", "opsys/ordering_bad.py",
+                    ("flow:set-iteration",))
+    report.findings = findings
+    assert not report.ok
+    with pytest.raises(ProtocolLintError):
+        raise_on_findings(report)
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+def test_baseline_roundtrip_demotes_then_goes_stale(tmp_path):
+    findings = _run("ordering_bad.py", "opsys/ordering_bad.py",
+                    ("flow:set-iteration",))
+    baseline_path = tmp_path / "baseline.json"
+    count = write_baseline(findings, baseline_path)
+    assert count == 4
+    entries = load_baseline(baseline_path)
+
+    # same findings again: all demoted to warnings, nothing stale
+    demoted = apply_baseline(findings, entries)
+    assert all(f.severity == "warning" for f in demoted)
+    assert all(f.message.startswith("[grandfathered]")
+               for f in demoted if f.check == "flow:set-iteration")
+
+    # the one finding with a unique key fixed: its entry goes stale
+    # (two 'for'-loop findings share a key, so dropping one of those
+    # would rightly NOT be stale — the key still matches the other)
+    remaining = [f for f in findings if "list()" not in f.message]
+    demoted = apply_baseline(remaining, entries)
+    stale = [f for f in demoted if f.check == "baseline:stale-entry"]
+    assert len(stale) == 1
+    assert all(f.severity == "warning" for f in stale)
+
+    # a new finding is NOT grandfathered
+    novel = Finding.at("flow:set-iteration", "a brand new hazard",
+                       "opsys/new.py", 3)
+    mixed = apply_baseline([*findings, novel], entries)
+    assert any(f.severity == "error" for f in mixed)
+
+
+def test_baseline_keys_survive_line_drift(tmp_path):
+    findings = _run("ordering_bad.py", "opsys/ordering_bad.py",
+                    ("flow:set-iteration",))
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(findings, baseline_path)
+    entries = load_baseline(baseline_path)
+    shifted = [Finding.at(f.check, f.message, f.path, f.line + 40,
+                          f.col) for f in findings]
+    demoted = apply_baseline(shifted, entries)
+    assert all(f.severity == "warning" for f in demoted)
+    assert not [f for f in demoted
+                if f.check == "baseline:stale-entry"]
+
+
+def test_committed_baseline_is_empty_and_tree_is_clean():
+    repo_root = Path(__file__).resolve().parent.parent
+    committed = json.loads(
+        (repo_root / "verify_baseline.json").read_text())
+    assert committed == []
+    report = verify_source_tree(repo_root / "src" / "repro")
+    assert report.ok, report.render()
