@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig13 --users 4,16 --repetitions 2
     python -m repro run fig19 --engine sqlserver --n-clients 16
     python -m repro run fig7 --telemetry out/fig7
+    python -m repro monitor fig13 --port 8765 --jsonl stream.jsonl
     python -m repro stats out/fig7
     python -m repro explain out/fig7 --action-only
     python -m repro compare --workload q6 --clients 16
@@ -19,7 +20,10 @@ snapshot; ``explain`` replays the decision-provenance log — the full
 causal chain (sample -> guard -> action) behind every mask change.
 ``compare`` is a quick four-way mode comparison on one query; ``verify``
 runs the static model checks and the determinism lint (exit 0 clean,
-1 on findings) — the CI gate.
+1 on findings) — the CI gate.  ``monitor`` runs one experiment under the
+live telemetry pipeline: a Prometheus ``/metrics`` + JSON ``/health``
+HTTP endpoint, a terminal dashboard, controller-health analyzers and
+alert rules, and an optional JSONL stream.
 """
 
 from __future__ import annotations
@@ -124,6 +128,53 @@ def _build_parser() -> argparse.ArgumentParser:
     for option in _OPTION_SPECS:
         run.add_argument(f"--{option.replace('_', '-')}", dest=option,
                          default=None)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run one experiment under live monitoring: /metrics + "
+             "/health HTTP endpoints, terminal dashboard, JSONL stream")
+    monitor.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    monitor.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    monitor.add_argument("--port", type=int, default=8765,
+                         help="HTTP port; 0 picks a free one "
+                              "(default 8765)")
+    monitor.add_argument("--window", type=float, default=0.25,
+                         help="flush-window length in simulated "
+                              "seconds (default 0.25)")
+    monitor.add_argument("--jsonl", metavar="FILE", default=None,
+                         help="stream every sample/decision/window/"
+                              "alert to FILE as JSON lines")
+    monitor.add_argument("--rules", metavar="FILE", default=None,
+                         help="alert rules JSON file (default: the "
+                              "built-in rule set)")
+    monitor.add_argument("--slo-latency-p95", type=float, default=None,
+                         metavar="SECONDS",
+                         help="SLO: windowed p95 query latency must "
+                              "stay <= SECONDS")
+    monitor.add_argument("--slo-throughput-min", type=float,
+                         default=None, metavar="QPS",
+                         help="SLO: windowed throughput must stay "
+                              ">= QPS")
+    monitor.add_argument("--refresh", type=float, default=1.0,
+                         help="dashboard redraw interval in host "
+                              "seconds (default 1.0)")
+    monitor.add_argument("--no-dashboard", action="store_true",
+                         help="suppress the terminal dashboard "
+                              "(endpoints still serve)")
+    monitor.add_argument("--serve-grace", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="keep serving SECONDS after the "
+                              "experiment ends (for late scrapers)")
+    monitor.add_argument("--fail-on-alert", action="store_true",
+                         help="exit 1 if any alert is still firing "
+                              "when the run ends")
+    monitor.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="also export the batch telemetry "
+                              "(metrics/trace/decisions) to DIR")
+    for option in _OPTION_SPECS:
+        monitor.add_argument(f"--{option.replace('_', '-')}",
+                             dest=option, default=None)
 
     bench = sub.add_parser(
         "bench",
@@ -256,8 +307,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(args: argparse.Namespace) -> str:
-    runner, _ = EXPERIMENTS[args.experiment]
+def _runner_kwargs(args: argparse.Namespace, runner: Callable) -> dict:
+    """Translate the shared experiment options into runner kwargs."""
     kwargs = {}
     for option, (kwarg, parse) in _OPTION_SPECS.items():
         raw = getattr(args, option, None)
@@ -268,6 +319,12 @@ def _run_experiment(args: argparse.Namespace) -> str:
                 f"{args.experiment} does not accept --"
                 f"{option.replace('_', '-')}")
         kwargs[kwarg] = parse(raw)
+    return kwargs
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    runner, _ = EXPERIMENTS[args.experiment]
+    kwargs = _runner_kwargs(args, runner)
     note = ""
     parallel = getattr(args, "parallel", 1) or 1
     telemetry = getattr(args, "telemetry", None)
@@ -341,6 +398,35 @@ def _profile_run(name: str, runner: Callable, kwargs: dict) -> str:
         .sort_stats("cumulative").print_stats(20)
     return (f"{result.table()}\n\nprofile written to {out}\n"
             f"{stream.getvalue().rstrip()}")
+
+
+def _run_monitor(args: argparse.Namespace) -> int:
+    """``repro monitor``: one experiment under the live pipeline."""
+    from .obs.alerts import load_rules
+    from .obs.health import SloObjective
+    from .obs.serve import run_monitor
+
+    runner, _ = EXPERIMENTS[args.experiment]
+    kwargs = _runner_kwargs(args, runner)
+    # the live bus and recorder are process-wide, and the golden
+    # live == post-hoc parity needs every decision in-process: force a
+    # serial, cold (no warm-start forking), uncached run
+    if "warm_start" in runner.__code__.co_varnames:
+        kwargs["warm_start"] = False
+    slos = []
+    if args.slo_latency_p95 is not None:
+        slos.append(SloObjective("latency_p95", "live.latency.p95",
+                                 "<=", args.slo_latency_p95))
+    if args.slo_throughput_min is not None:
+        slos.append(SloObjective("throughput", "live.throughput",
+                                 ">=", args.slo_throughput_min))
+    rules = load_rules(args.rules) if args.rules is not None else None
+    return run_monitor(
+        runner, kwargs, title=args.experiment, host=args.host,
+        port=args.port, window=args.window, rules=rules,
+        slos=tuple(slos), jsonl=args.jsonl, refresh=args.refresh,
+        dashboard=not args.no_dashboard, serve_grace=args.serve_grace,
+        telemetry=args.telemetry, fail_on_alert=args.fail_on_alert)
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -624,6 +710,8 @@ def main(argv: list[str] | None = None) -> int:
             print(render_table(["experiment", "description"], rows))
         elif args.command == "run":
             print(_run_experiment(args))
+        elif args.command == "monitor":
+            return _run_monitor(args)
         elif args.command == "bench":
             return _run_bench(args)
         elif args.command == "cache":

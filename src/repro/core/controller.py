@@ -34,6 +34,7 @@ from ..control.stages import (Actuator, DecisionPolicy, LeaseActuator,
                               ModelPolicy, ModePlanner, MonitorSensor,
                               Planner, Sensor, single_step)
 from ..errors import AllocationError, ModelConfigurationError
+from ..obs.live import live_bus
 from ..obs.metrics import VALUE_BUCKETS
 from ..obs.provenance import Decision
 from ..opsys.inventory import DEFAULT_TENANT
@@ -248,7 +249,7 @@ class ElasticController:
         self._g_cores.set(self.n_allocated)
         self._c_fired[chain.entry].inc()
         self._c_fired[chain.exit].inc()
-        if self.obs.enabled:
+        if self.obs.enabled or live_bus() is not None:
             self._record_decision(sample, chain, applied.first_core,
                                   cores_before)
         self.ticks += 1
@@ -259,14 +260,20 @@ class ElasticController:
 
     def _record_decision(self, sample, chain: TransitionChain,
                          core: int | None, cores_before: int) -> None:
-        """Capture the full causal chain of one pass (enabled path only)."""
+        """Capture the full causal chain of one pass.
+
+        Runs when the recorder is enabled *or* a live bus is installed:
+        the same :class:`Decision` feeds the provenance log and the
+        streaming health analyzers, which is what makes live values
+        replayable post-hoc from ``decisions.jsonl``.
+        """
         priorities = None
         if isinstance(self.mode, AdaptivePriorityMode):
             priorities = tuple(self.mode.queue.counts())
         node = (self.os.topology.node_of_core(core)
                 if core is not None else None)
         assert self.model is not None
-        self.obs.decisions.record(Decision(
+        decision = Decision(
             time=self.os.now, tick=self.ticks,
             strategy=self.strategy.name, metric=chain.metric,
             th_min=self.strategy.th_min, th_max=self.strategy.th_max,
@@ -287,7 +294,12 @@ class ElasticController:
                 "window": sample.window,
             },
             priorities=priorities,
-            tenant=self.tenant))
+            tenant=self.tenant)
+        if self.obs.enabled:
+            self.obs.decisions.record(decision)
+        bus = live_bus()
+        if bus is not None:
+            bus.on_decision(decision)
 
     # ------------------------------------------------------------------
     # model/placement upkeep

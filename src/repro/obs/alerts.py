@@ -1,0 +1,257 @@
+"""Declarative alert rules over live series, with hysteresis.
+
+A rule names a live-series pattern and a predicate; the engine scores
+every rule once per closed window and maintains firing/resolved state
+with hysteresis (``for_windows`` consecutive breaches to fire,
+``clear_windows`` consecutive good windows to resolve), so one noisy
+sample never pages and one good sample never silences a real problem.
+
+Three rule kinds cover the monitoring idioms the health suite needs:
+
+* ``threshold`` — the latest value of any matching series violates
+  ``op value`` (e.g. oscillation score above 0.5);
+* ``trend`` — the per-second slope over the last ``window`` samples of
+  any matching series violates ``op value`` (e.g. latency climbing);
+* ``absence`` — *no* matching series produced a sample within the last
+  ``window`` flush windows: the signal went dark, which is itself an
+  anomaly (dead controller, stalled workload, broken tap).
+
+Every firing/resolved transition carries a provenance link: the most
+recent acting controller decision per tenant at transition time, so an
+alert can be traced back to the mask change that caused it with
+``repro explain``.
+
+Rules are data: :func:`load_rules` reads them from a JSON file (see
+``docs/observability.md`` for the schema), :data:`DEFAULT_RULES` is the
+built-in set ``repro monitor`` starts with.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, fields
+from fnmatch import fnmatchcase
+
+from ..errors import ReproError
+
+_KINDS = ("threshold", "trend", "absence")
+_SEVERITIES = ("info", "warning", "critical")
+_OPS = {
+    "<=": lambda value, target: value <= target,
+    ">=": lambda value, target: value >= target,
+    "<": lambda value, target: value < target,
+    ">": lambda value, target: value > target,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AlertRule:
+    """One declarative rule over live series.
+
+    ``series`` is an ``fnmatch`` glob (``health.*.oscillation``); for
+    threshold/trend rules *any* matching series in violation breaches
+    the window.  ``window`` is the trend lookback in samples, or the
+    absence tolerance in flush windows.
+    """
+
+    name: str
+    series: str
+    kind: str = "threshold"
+    op: str = ">="
+    value: float = 0.0
+    for_windows: int = 1
+    clear_windows: int = 1
+    window: int = 8
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ReproError(
+                f"alert {self.name!r}: kind {self.kind!r} not in "
+                f"{_KINDS}")
+        if self.kind != "absence" and self.op not in _OPS:
+            raise ReproError(
+                f"alert {self.name!r}: op {self.op!r} not in "
+                f"{sorted(_OPS)}")
+        if self.severity not in _SEVERITIES:
+            raise ReproError(
+                f"alert {self.name!r}: severity {self.severity!r} "
+                f"not in {_SEVERITIES}")
+        if self.for_windows < 1 or self.clear_windows < 1:
+            raise ReproError(
+                f"alert {self.name!r}: for_windows/clear_windows "
+                f"must be >= 1")
+        if self.window < 1:
+            raise ReproError(
+                f"alert {self.name!r}: window must be >= 1")
+
+    def breached(self, bus, now: float) -> tuple[bool, str | None,
+                                                 float | None]:
+        """Score one window: (breach?, offending series, value)."""
+        matches = [series for name, series in sorted(bus.series.items())
+                   if fnmatchcase(name, self.series)]
+        if self.kind == "absence":
+            horizon = now - self.window * bus.window
+            for series in matches:
+                if series.last_time is not None and \
+                        series.last_time > horizon:
+                    return False, series.name, series.last
+            return True, None, None
+        op = _OPS[self.op]
+        for series in matches:
+            if self.kind == "threshold":
+                probe = series.last
+            else:
+                probe = series.trend(self.window)
+            if probe is not None and op(probe, self.value):
+                return True, series.name, probe
+        return False, None, None
+
+
+class AlertState:
+    """Firing/resolved bookkeeping for one rule."""
+
+    def __init__(self, rule: AlertRule):
+        self.rule = rule
+        self.firing = False
+        self.breaches = 0
+        self.oks = 0
+        self.fired_at: float | None = None
+        self.resolved_at: float | None = None
+        self.fire_count = 0
+        self.last_series: str | None = None
+        self.last_value: float | None = None
+
+    def score(self, breach: bool, now: float) -> str | None:
+        """Apply one window's verdict; returns the transition if any."""
+        if breach:
+            self.breaches += 1
+            self.oks = 0
+            if not self.firing and \
+                    self.breaches >= self.rule.for_windows:
+                self.firing = True
+                self.fired_at = now
+                self.fire_count += 1
+                return "firing"
+        else:
+            self.oks += 1
+            self.breaches = 0
+            if self.firing and self.oks >= self.rule.clear_windows:
+                self.firing = False
+                self.resolved_at = now
+                return "resolved"
+        return None
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "alert": self.rule.name,
+            "severity": self.rule.severity,
+            "kind": self.rule.kind,
+            "series": self.rule.series,
+            "firing": self.firing,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "fire_count": self.fire_count,
+            "last_series": self.last_series,
+            "last_value": self.last_value,
+        }
+
+
+class AlertEngine:
+    """Evaluates every rule once per closed window."""
+
+    def __init__(self, rules=None):
+        self.states = [AlertState(rule) for rule in
+                       (DEFAULT_RULES if rules is None else rules)]
+        self.transitions: list[dict] = []
+
+    def evaluate(self, now: float, bus) -> list[dict]:
+        """Score all rules against the bus; returns new transitions."""
+        events = []
+        for state in self.states:
+            breach, series, value = state.rule.breached(bus, now)
+            if breach:
+                state.last_series, state.last_value = series, value
+            transition = state.score(breach, now)
+            if transition is not None:
+                events.append({
+                    "t": now,
+                    "alert": state.rule.name,
+                    "severity": state.rule.severity,
+                    "event": transition,
+                    "series": series,
+                    "value": value,
+                    "provenance": _provenance(bus),
+                })
+        self.transitions.extend(events)
+        return events
+
+    def firing(self) -> list[AlertState]:
+        """The currently firing alerts."""
+        return [state for state in self.states if state.firing]
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every rule's state plus the event log."""
+        return {
+            "rules": [state.snapshot() for state in self.states],
+            "firing": sum(1 for state in self.states if state.firing),
+            "transitions": list(self.transitions),
+        }
+
+
+def _provenance(bus) -> dict:
+    """Per-tenant link back to the decision behind the alert."""
+    return {
+        tenant: health.last_action
+        for tenant, health in sorted(bus.health.tenants.items())
+        if health.last_action is not None
+    }
+
+
+#: the built-in rule set ``repro monitor`` starts with
+DEFAULT_RULES = (
+    AlertRule(name="controller_flapping",
+              series="health.*.oscillation",
+              kind="threshold", op=">=", value=0.5,
+              for_windows=3, clear_windows=3, severity="warning"),
+    AlertRule(name="slo_burn_high",
+              series="slo.*.burn",
+              kind="threshold", op=">", value=0.1,
+              for_windows=2, clear_windows=2, severity="critical"),
+    AlertRule(name="telemetry_absent",
+              series="live.throughput",
+              kind="absence", window=8,
+              for_windows=4, clear_windows=1, severity="critical"),
+)
+
+
+def load_rules(path) -> tuple[AlertRule, ...]:
+    """Read alert rules from a JSON file (a list of rule objects).
+
+    Unknown keys are rejected so typos fail loudly instead of silently
+    disabling a rule.
+    """
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: invalid JSON rules file") from exc
+    if not isinstance(payload, list):
+        raise ReproError(f"{path}: want a JSON list of rule objects")
+    known = {f.name for f in fields(AlertRule)}
+    rules = []
+    for index, entry in enumerate(payload):
+        if not isinstance(entry, dict):
+            raise ReproError(f"{path}: rule #{index} is not an object")
+        extra = set(entry) - known
+        if extra:
+            raise ReproError(
+                f"{path}: rule #{index} has unknown keys "
+                f"{sorted(extra)}")
+        if "name" not in entry or "series" not in entry:
+            raise ReproError(
+                f"{path}: rule #{index} needs 'name' and 'series'")
+        rules.append(AlertRule(**entry))
+    return tuple(rules)

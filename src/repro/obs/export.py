@@ -39,32 +39,98 @@ def prometheus_name(name: str) -> str:
     return "repro_" + name.replace(".", "_")
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_labels(labels: dict) -> str:
+    """``{"le": "0.1"}`` -> ``{le="0.1"}`` (empty dict -> '')."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(value)}"'
+                     for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+def render_family(name: str, kind: str, help_text: str,
+                  samples) -> list[str]:
+    """One metric family: ``# HELP``/``# TYPE`` once, then samples.
+
+    ``samples`` are ``(suffix, labels, value)`` triples — the labeled
+    children of the family (histogram buckets, per-tenant gauges, ...).
+    Shared by the batch exporter and the live ``/metrics`` endpoint so
+    both speak identical exposition format.
+    """
+    lines = [f"# HELP {name} {escape_help(help_text)}",
+             f"# TYPE {name} {kind}"]
+    for suffix, labels, value in samples:
+        rendered = value if isinstance(value, int) else f"{value:g}"
+        lines.append(f"{name}{suffix}{format_labels(labels)} {rendered}")
+    return lines
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _instrument_samples(instrument) -> tuple[str, list]:
+    """(kind, samples) of one instrument, for :func:`render_family`."""
+    if isinstance(instrument, Counter):
+        return "counter", [("", {}, instrument.value)]
+    if isinstance(instrument, Gauge):
+        return "gauge", [("", {}, instrument.value)]
+    if isinstance(instrument, Histogram):
+        samples = []
+        cumulative = 0
+        for edge, count in zip(instrument.boundaries,
+                               instrument.bucket_counts):
+            cumulative += count
+            samples.append(("_bucket", {"le": f"{edge:g}"}, cumulative))
+        # the +Inf bucket is the total count by definition — it also
+        # covers the implicit overflow bucket above the last edge
+        samples.append(("_bucket", {"le": "+Inf"}, instrument.count))
+        samples.append(("_sum", {}, instrument.total))
+        samples.append(("_count", {}, instrument.count))
+        return "histogram", samples
+    raise ReproError(f"cannot render instrument {instrument!r}")
+
+
 def render_prometheus(metrics) -> str:
-    """Render a registry in the Prometheus text exposition format."""
-    lines: list[str] = []
+    """Render a registry in the Prometheus text exposition format.
+
+    ``# HELP`` and ``# TYPE`` are emitted once per *family* even when
+    several dotted instrument names collapse onto one Prometheus name
+    (``a.b_c`` and ``a.b.c`` both map to ``repro_a_b_c``); colliding
+    instruments of different kinds are an error, not silent corruption.
+    """
+    order: list[str] = []
+    kinds: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: dict[str, list] = {}
     for instrument in metrics.all():
         pname = prometheus_name(instrument.name)
-        if isinstance(instrument, Counter):
-            lines.append(f"# TYPE {pname} counter")
-            lines.append(f"{pname} {instrument.value:g}")
-        elif isinstance(instrument, Gauge):
-            lines.append(f"# TYPE {pname} gauge")
-            lines.append(f"{pname} {instrument.value:g}")
-        elif isinstance(instrument, Histogram):
-            lines.append(f"# TYPE {pname} histogram")
-            cumulative = 0
-            for edge, count in zip(instrument.boundaries,
-                                   instrument.bucket_counts):
-                cumulative += count
-                lines.append(
-                    f'{pname}_bucket{{le="{edge:g}"}} {cumulative}')
-            lines.append(
-                f'{pname}_bucket{{le="+Inf"}} {instrument.count}')
-            lines.append(f"{pname}_sum {instrument.total:g}")
-            lines.append(f"{pname}_count {instrument.count}")
-        else:
+        kind, instrument_samples = _instrument_samples(instrument)
+        if pname not in kinds:
+            order.append(pname)
+            kinds[pname] = kind
+            helps[pname] = f"repro metric {instrument.name}"
+            samples[pname] = []
+        elif kinds[pname] != kind:
             raise ReproError(
-                f"cannot render instrument {instrument!r}")
+                f"metric family {pname} rendered as both "
+                f"{kinds[pname]} and {kind}")
+        samples[pname].extend(instrument_samples)
+    lines: list[str] = []
+    for pname in order:
+        lines.extend(render_family(pname, kinds[pname], helps[pname],
+                                   samples[pname]))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,307 @@
+"""Controller-health analyzers: is the mechanism converging on LONC?
+
+The paper judges the elastic mechanism by how *fast* and how *stably*
+it settles on the lowest number of cores that sustains the workload.
+These analyzers reduce the decision-provenance stream to exactly those
+judgements, one :class:`TenantHealth` per controller:
+
+* **convergence time** — sim seconds from the tenant's first decision
+  until the controller completes ``stable_streak`` consecutive Stable
+  passes (the LONC criterion); leaving Stable afterwards counts a
+  *divergence* and restarts the clock;
+* **oscillation score** — direction flips (allocate -> release or back)
+  among the last ``osc_window`` acting decisions, normalised to [0, 1];
+  a controller ping-ponging cores scores high even if each step is
+  locally justified;
+* **flapping score** — Petri-net state changes per sliding window of
+  passes, the mode-change rate;
+* **allocation lag** — ticks from a threshold crossing (the pass that
+  left Stable) until a core change is actually applied (``core`` is not
+  ``None``); cooldowns and starvation stretch this;
+* **SLO burn** — fraction of closed live windows in breach of a
+  latency/throughput objective (:class:`SloTracker`); empty windows are
+  skipped, not counted as good.
+
+Everything here is *pure replay*: :func:`analyze_decisions` recomputes
+the same numbers post-hoc from a decisions JSONL file, and the golden
+monitor test pins live == post-hoc on the same run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+#: Petri-net performance state that satisfies the LONC criterion
+STABLE = "Stable"
+
+_DIRECTIONS = {"allocate": 1, "release": -1}
+
+
+@dataclass(frozen=True, slots=True)
+class HealthConfig:
+    """Tunables for the health analyzers."""
+
+    #: consecutive Stable passes that count as converged-on-LONC
+    stable_streak: int = 3
+    #: sliding-window length (decisions) for oscillation/flapping
+    osc_window: int = 20
+
+    def __post_init__(self) -> None:
+        if self.stable_streak < 1:
+            raise ReproError("stable_streak must be >= 1")
+        if self.osc_window < 2:
+            raise ReproError("osc_window must be >= 2")
+
+
+class TenantHealth:
+    """Rolling health state of one tenant's controller."""
+
+    def __init__(self, tenant: str, config: HealthConfig):
+        self.tenant = tenant
+        self.config = config
+        self.decisions = 0
+        self.first_time: float | None = None
+        self.last_time: float | None = None
+        # convergence
+        self._streak = 0
+        self.converged = False
+        self.convergence_time: float | None = None
+        self.divergences = 0
+        # oscillation / flapping windows
+        self._directions: deque[int] = deque(maxlen=config.osc_window)
+        self._states: deque[str] = deque(maxlen=config.osc_window)
+        # allocation lag: tick that left Stable, pending application
+        self._episode_tick: int | None = None
+        self.last_lag: int | None = None
+        self.lags: list[int] = []
+        self.cores: int | None = None
+        #: the most recent acting decision (provenance for alerts)
+        self.last_action: dict | None = None
+
+    def observe(self, decision) -> None:
+        """Fold one controller pass into the rolling state."""
+        self.decisions += 1
+        if self.first_time is None:
+            self.first_time = decision.time
+        self.last_time = decision.time
+        self.cores = decision.cores_after
+        self._states.append(decision.state)
+        direction = _DIRECTIONS.get(decision.action or "")
+        if direction is not None:
+            self._directions.append(direction)
+            self.last_action = {
+                "time": decision.time, "tick": decision.tick,
+                "action": decision.action, "core": decision.core,
+                "state": decision.state,
+                "cores_after": decision.cores_after,
+            }
+        # convergence to LONC: a streak of Stable passes
+        if decision.state == STABLE:
+            self._streak += 1
+            if not self.converged and \
+                    self._streak >= self.config.stable_streak:
+                self.converged = True
+                self.convergence_time = decision.time - self.first_time
+        else:
+            if self.converged:
+                self.divergences += 1
+                self.converged = False
+            self._streak = 0
+        # allocation lag: threshold crossing -> applied core change
+        if decision.state == STABLE:
+            self._episode_tick = None
+        elif self._episode_tick is None:
+            self._episode_tick = decision.tick
+        if decision.core is not None and self._episode_tick is not None:
+            lag = decision.tick - self._episode_tick + 1
+            self.last_lag = lag
+            self.lags.append(lag)
+            self._episode_tick = None
+
+    @property
+    def oscillation(self) -> float:
+        """Direction-flip rate over the acting-decision window [0, 1]."""
+        directions = self._directions
+        if len(directions) < 2:
+            return 0.0
+        flips = sum(1 for a, b in zip(directions, list(directions)[1:])
+                    if a != b)
+        return flips / (len(directions) - 1)
+
+    @property
+    def flapping(self) -> float:
+        """State-change rate over the sliding window [0, 1]."""
+        states = self._states
+        if len(states) < 2:
+            return 0.0
+        changes = sum(1 for a, b in zip(states, list(states)[1:])
+                      if a != b)
+        return changes / (len(states) - 1)
+
+    @property
+    def mean_lag(self) -> float | None:
+        """Mean allocation lag in ticks (``None`` before any)."""
+        if not self.lags:
+            return None
+        return sum(self.lags) / len(self.lags)
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "tenant": self.tenant,
+            "decisions": self.decisions,
+            "converged": self.converged,
+            "convergence_time": self.convergence_time,
+            "divergences": self.divergences,
+            "oscillation": self.oscillation,
+            "flapping": self.flapping,
+            "last_lag": self.last_lag,
+            "mean_lag": self.mean_lag,
+            "cores": self.cores,
+            "last_action": self.last_action,
+        }
+
+
+class HealthSuite:
+    """Per-tenant :class:`TenantHealth`, created on first decision."""
+
+    def __init__(self, config: HealthConfig | None = None):
+        self.config = config or HealthConfig()
+        self.tenants: dict[str, TenantHealth] = {}
+
+    def observe(self, decision) -> TenantHealth:
+        """Route one decision; returns the tenant's health record."""
+        tenant = self.tenants.get(decision.tenant)
+        if tenant is None:
+            tenant = TenantHealth(decision.tenant, self.config)
+            self.tenants[decision.tenant] = tenant
+        tenant.observe(decision)
+        return tenant
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-tenant summaries."""
+        return {name: tenant.snapshot()
+                for name, tenant in sorted(self.tenants.items())}
+
+
+def analyze_decisions(decisions: Iterable,
+                      config: HealthConfig | None = None) -> HealthSuite:
+    """Post-hoc replay: the numbers the live suite would have computed.
+
+    Feed it ``load_decisions(path)``; the golden monitor test asserts
+    this matches the live bus on the same run.
+    """
+    suite = HealthSuite(config)
+    for decision in decisions:
+        suite.observe(decision)
+    return suite
+
+
+# ----------------------------------------------------------------------
+# SLO objectives
+# ----------------------------------------------------------------------
+
+_OPS = {
+    "<=": lambda value, target: value <= target,
+    ">=": lambda value, target: value >= target,
+    "<": lambda value, target: value < target,
+    ">": lambda value, target: value > target,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SloObjective:
+    """One service-level objective over a live series.
+
+    The window is *good* when ``value <op> target`` holds, e.g.
+    ``SloObjective("latency", "live.latency.p95", "<=", 0.5)``.
+    """
+
+    name: str
+    series: str
+    op: str
+    target: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ReproError(
+                f"SLO op {self.op!r}: want one of {sorted(_OPS)}")
+
+    def good(self, value: float) -> bool:
+        """Does ``value`` meet the objective?"""
+        return _OPS[self.op](value, self.target)
+
+
+class SloTracker:
+    """Burn-rate accounting for one objective.
+
+    Burn = breached windows / counted windows.  A window with no sample
+    on the series is *skipped* (not counted either way): an idle window
+    says nothing about whether the objective held.
+    """
+
+    def __init__(self, objective: SloObjective):
+        self.objective = objective
+        self.counted = 0
+        self.breached = 0
+        self.skipped = 0
+
+    def observe_window(self, value: float | None) -> float | None:
+        """Score one closed window; returns the burn so far.
+
+        ``value`` is the window's sample on the objective's series, or
+        ``None`` when the window was empty.  Returns ``None`` until a
+        first window has been counted.
+        """
+        if value is None:
+            self.skipped += 1
+        else:
+            self.counted += 1
+            if not self.objective.good(value):
+                self.breached += 1
+        return self.burn
+
+    @property
+    def burn(self) -> float | None:
+        """Fraction of counted windows in breach (``None`` before any)."""
+        if self.counted == 0:
+            return None
+        return self.breached / self.counted
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "objective": self.objective.name,
+            "series": self.objective.series,
+            "op": self.objective.op,
+            "target": self.objective.target,
+            "counted": self.counted,
+            "breached": self.breached,
+            "skipped": self.skipped,
+            "burn": self.burn,
+        }
+
+
+def slo_burn_from_stream(entries: Sequence[dict],
+                         objective: SloObjective) -> float | None:
+    """Recompute an SLO burn from a JSONL stream's sample entries.
+
+    ``entries`` are parsed stream records (``kind == "sample"`` rows
+    carry ``series``/``value``/``t``); the replay buckets them into the
+    same windows the live tracker saw and scores each window's last
+    sample, mirroring :meth:`LiveBus.flush`.
+    """
+    tracker = SloTracker(objective)
+    pending: float | None = None
+    for entry in entries:
+        kind = entry.get("kind")
+        if kind == "sample" and entry.get("series") == objective.series:
+            pending = float(entry["value"])
+        elif kind == "window":
+            tracker.observe_window(pending)
+            pending = None
+    return tracker.burn

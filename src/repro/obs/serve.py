@@ -1,0 +1,402 @@
+"""The monitor endpoint: live ``/metrics`` + ``/health`` over HTTP.
+
+``repro monitor <experiment>`` runs an experiment in a worker thread
+while this module serves its telemetry concurrently:
+
+* ``GET /metrics`` — Prometheus text exposition: the recorder's full
+  registry (via :func:`~repro.obs.export.render_prometheus`) followed by
+  the live families — windowed throughput/latency, per-tenant
+  controller-health gauges, SLO burn, alert states — rendered through
+  the same family renderer so a scraper sees one consistent format;
+* ``GET /health`` — a JSON health document: overall status (``ok`` /
+  ``alerting``), the per-tenant health-suite snapshot, SLO trackers and
+  alert states;
+* a live terminal dashboard redrawn every ``refresh`` host seconds;
+* an optional JSONL streaming sink capturing every sample, decision,
+  window and alert transition for headless runs (CI scrapes the
+  endpoint mid-run and archives the stream).
+
+The server runs on host threads; everything it reads comes from
+:meth:`LiveBus.snapshot`, which locks, so scrapes never tear a window.
+Host-clock use (``monotonic``/``sleep``) is legal here — this module is
+operational tooling outside the deterministic strict zones.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError
+from .export import (export_run, prometheus_name, render_family,
+                     render_prometheus)
+from .live import DEFAULT_WINDOW, LiveBus, install_live, uninstall_live
+from .recorder import Recorder, install, uninstall
+
+
+# ----------------------------------------------------------------------
+# the streaming sink
+# ----------------------------------------------------------------------
+
+class JsonlSink:
+    """Append-only JSONL stream of everything crossing the bus.
+
+    One object per line: ``{"kind": "sample" | "decision" | "window" |
+    "alert", ...payload}``.  Bus callbacks already serialise under the
+    bus lock, so writes never interleave.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.written = 0
+
+    def write(self, kind: str, payload: dict) -> None:
+        """Append one stream record."""
+        record = {"kind": kind}
+        record.update(payload)
+        self._handle.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        """Push buffered records to disk (called per closed window)."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the stream file."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def load_stream(path) -> list[dict]:
+    """Read a JSONL stream back (plain dicts, in write order)."""
+    path = pathlib.Path(path)
+    entries = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_no}: invalid JSON") from exc
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise ReproError(
+                    f"{path}:{line_no}: not a stream record")
+            entries.append(entry)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# live Prometheus families
+# ----------------------------------------------------------------------
+
+def live_families(snapshot: dict) -> list[tuple]:
+    """Group a bus snapshot into ``(name, kind, help, samples)`` families.
+
+    Per-tenant health series (``health.<tenant>.<what>``) become one
+    labeled family per analyzer (``repro_health_<what>{tenant="..."}``),
+    SLO burns label by objective, per-tenant core counts by tenant;
+    everything else renders as an unlabeled gauge under its own name.
+    """
+    families: dict[str, tuple[str, str, list]] = {}
+
+    def add(name, kind, help_text, suffix, labels, value):
+        family = families.get(name)
+        if family is None:
+            family = (kind, help_text, [])
+            families[name] = family
+        family[2].append((suffix, labels, value))
+
+    for name, series in snapshot["series"].items():
+        value = series["last"]
+        if value is None:
+            continue
+        parts = name.split(".")
+        if parts[0] == "health" and len(parts) >= 3:
+            what = "_".join(parts[2:])
+            add(f"repro_health_{what}", "gauge",
+                f"live controller health: {what}", "",
+                {"tenant": parts[1]}, value)
+        elif parts[0] == "slo" and parts[-1] == "burn":
+            add("repro_slo_burn", "gauge",
+                "fraction of windows in SLO breach", "",
+                {"objective": ".".join(parts[1:-1])}, value)
+        elif parts[:2] == ["live", "cores"] and len(parts) == 3:
+            add("repro_live_cores", "gauge",
+                "cores currently held, by tenant", "",
+                {"tenant": parts[2]}, value)
+        elif parts[:2] == ["live", "metric"] and len(parts) == 3:
+            add("repro_live_metric", "gauge",
+                "latest controller metric, by tenant", "",
+                {"tenant": parts[2]}, value)
+        else:
+            add(prometheus_name(name), "gauge",
+                f"live series {name}", "", {}, value)
+    for state in snapshot.get("alerts", {}).get("rules", ()):
+        add("repro_alert_firing", "gauge",
+            "1 while the alert rule is firing", "",
+            {"alert": state["alert"], "severity": state["severity"]},
+            1 if state["firing"] else 0)
+    add("repro_live_windows", "counter",
+        "closed live-telemetry windows", "", {}, snapshot["windows"])
+    add("repro_live_decisions", "counter",
+        "controller decisions streamed", "", {},
+        snapshot["decisions"])
+    return [(name, kind, help_text, samples)
+            for name, (kind, help_text, samples)
+            in sorted(families.items())]
+
+
+def render_live_prometheus(bus: LiveBus) -> str:
+    """The live families in text exposition format."""
+    lines: list[str] = []
+    for name, kind, help_text, samples in live_families(bus.snapshot()):
+        lines.extend(render_family(name, kind, help_text, samples))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# HTTP server
+# ----------------------------------------------------------------------
+
+class _MonitorHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` and ``/health``; silent access log."""
+
+    server: "MonitorServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = self.server.metrics_text()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/health":
+            body = json.dumps(self.server.health_document(), indent=2)
+            content_type = "application/json"
+        elif path == "/":
+            body = "repro monitor: try /metrics or /health\n"
+            content_type = "text/plain; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics, /health)")
+            return
+        payload = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:
+        """Drop the per-request access log (it would fight the dashboard)."""
+
+
+class MonitorServer(ThreadingHTTPServer):
+    """HTTP server bound to one recorder + live bus pair."""
+
+    daemon_threads = True
+
+    def __init__(self, host: str, port: int, recorder, bus: LiveBus):
+        super().__init__((host, port), _MonitorHandler)
+        self.recorder = recorder
+        self.bus = bus
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``--port 0``)."""
+        return self.server_address[1]
+
+    def metrics_text(self) -> str:
+        """Registry snapshot + live families, one exposition document."""
+        return render_prometheus(self.recorder.metrics) + \
+            render_live_prometheus(self.bus)
+
+    def health_document(self) -> dict:
+        """The ``/health`` JSON body."""
+        snapshot = self.bus.snapshot()
+        firing = snapshot.get("alerts", {}).get("firing", 0)
+        return {
+            "status": "alerting" if firing else "ok",
+            "firing": firing,
+            "sim_time": snapshot["last_flush"],
+            "windows": snapshot["windows"],
+            "decisions": snapshot["decisions"],
+            "health": snapshot["health"],
+            "slo": snapshot["slo"],
+            "alerts": snapshot.get("alerts", {}).get("rules", []),
+        }
+
+    def start(self) -> None:
+        """Serve on a daemon thread until :meth:`stop`."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-monitor-http",
+            daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.server_close()
+
+
+# ----------------------------------------------------------------------
+# terminal dashboard
+# ----------------------------------------------------------------------
+
+_DASH_SERIES = ("live.throughput", "live.latency.p50",
+                "live.latency.p95", "live.cores_allowed")
+
+
+def render_dashboard(snapshot: dict, title: str) -> str:
+    """One frame of the live dashboard (plain text, no ANSI)."""
+    sim_t = snapshot["last_flush"]
+    head = (f"repro monitor — {title}  "
+            f"sim t={sim_t:.3f}s  " if sim_t is not None
+            else f"repro monitor — {title}  warming up  ")
+    head += (f"windows={snapshot['windows']}  "
+             f"decisions={snapshot['decisions']}")
+    lines = [head, "-" * len(head)]
+    series = snapshot["series"]
+    for name in _DASH_SERIES:
+        info = series.get(name)
+        if info is None or info["last"] is None:
+            continue
+        lines.append(f"  {name:<22} last={info['last']:<12.6g} "
+                     f"ewma={info['ewma']:.6g}  n={info['count']}")
+    for tenant, health in snapshot["health"].items():
+        converged = "yes" if health["converged"] else "no"
+        convergence = (f"{health['convergence_time']:.3f}s"
+                       if health["convergence_time"] is not None
+                       else "-")
+        lag = health["last_lag"] if health["last_lag"] is not None \
+            else "-"
+        lines.append(
+            f"  health[{tenant}]: converged={converged} "
+            f"({convergence})  osc={health['oscillation']:.2f}  "
+            f"flap={health['flapping']:.2f}  lag={lag}  "
+            f"cores={health['cores']}")
+    for slo in snapshot["slo"]:
+        burn = (f"{100 * slo['burn']:.1f}%" if slo["burn"] is not None
+                else "-")
+        lines.append(
+            f"  slo[{slo['objective']}]: burn={burn} "
+            f"({slo['breached']}/{slo['counted']} windows, "
+            f"{slo['skipped']} empty)")
+    alerts = snapshot.get("alerts")
+    if alerts is not None:
+        firing = [state["alert"] for state in alerts["rules"]
+                  if state["firing"]]
+        lines.append("  alerts: " + (", ".join(
+            f"FIRING {name}" for name in firing) if firing
+            else "none firing"))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the monitor driver
+# ----------------------------------------------------------------------
+
+class _ExperimentWorker(threading.Thread):
+    """Runs the experiment; the main thread owns the dashboard."""
+
+    def __init__(self, runner, kwargs: dict):
+        super().__init__(name="repro-monitor-experiment", daemon=True)
+        self.runner = runner
+        self.kwargs = kwargs
+        self.result = None
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self.result = self.runner(**self.kwargs)
+        except BaseException as exc:  # re-raised on the main thread
+            self.error = exc
+
+
+def run_monitor(runner, kwargs: dict, *, title: str = "experiment",
+                host: str = "127.0.0.1", port: int = 8765,
+                window: float = DEFAULT_WINDOW, rules=None, slos=(),
+                jsonl=None, refresh: float = 1.0,
+                dashboard: bool = True, serve_grace: float = 0.0,
+                telemetry=None, fail_on_alert: bool = False,
+                out=None) -> int:
+    """Run one experiment under live monitoring; returns an exit code.
+
+    Installs a fresh :class:`~repro.obs.recorder.Recorder` and a
+    :class:`LiveBus`, serves ``/metrics`` + ``/health`` for the whole
+    run (plus ``serve_grace`` host seconds afterwards, so scrapers can
+    catch the final state), streams to ``jsonl`` when given, and redraws
+    the dashboard every ``refresh`` seconds.  With ``fail_on_alert`` the
+    exit code is 1 if any alert is still firing at the end.
+    """
+    from ..runner import cache as result_cache
+    from .alerts import AlertEngine
+
+    out = out if out is not None else sys.stdout
+    engine = AlertEngine(rules)
+    bus = LiveBus(window=window, slos=slos, alerts=engine)
+    sink = JsonlSink(jsonl) if jsonl is not None else None
+    if sink is not None:
+        bus.add_sink(sink)
+    recorder = Recorder()
+    install(recorder)
+    install_live(bus)
+    server = MonitorServer(host, port, recorder, bus)
+    server.start()
+    print(f"serving http://{host}:{server.port}/metrics and /health",
+          file=out)
+    worker = _ExperimentWorker(runner, kwargs)
+    interactive = dashboard and getattr(out, "isatty", lambda: False)()
+    # a replayed (cached) run never simulates, so the bus would have
+    # nothing to stream: force the result cache off for the duration
+    result_cache.configure(False)
+    try:
+        worker.start()
+        while worker.is_alive():
+            worker.join(timeout=max(refresh, 0.05))
+            if dashboard:
+                frame = render_dashboard(bus.snapshot(), title)
+                if interactive:
+                    print("\x1b[2J\x1b[H" + frame, file=out, flush=True)
+                else:
+                    print(frame, file=out, flush=True)
+        if worker.error is not None:
+            raise worker.error
+        print(render_dashboard(bus.snapshot(), title), file=out)
+        if worker.result is not None and \
+                hasattr(worker.result, "table"):
+            print(worker.result.table(), file=out)
+        if telemetry is not None:
+            paths = export_run(recorder, telemetry)
+            exported = "\n".join(f"  {p}" for p in paths.values())
+            print(f"telemetry written to:\n{exported}", file=out)
+        if serve_grace > 0:
+            print(f"serving for another {serve_grace:g}s "
+                  f"(--serve-grace)", file=out)
+            deadline = time.monotonic() + serve_grace
+            while time.monotonic() < deadline:
+                time.sleep(min(0.2, serve_grace))
+    finally:
+        result_cache.configure(None)
+        server.stop()
+        uninstall_live()
+        uninstall()
+        if sink is not None:
+            sink.close()
+            print(f"stream: {sink.written} records -> {sink.path}",
+                  file=out)
+    if fail_on_alert and engine.firing():
+        names = ", ".join(state.rule.name
+                          for state in engine.firing())
+        print(f"alerts still firing: {names}", file=out)
+        return 1
+    return 0

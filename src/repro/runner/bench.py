@@ -7,8 +7,10 @@ machines of different speeds), and writes the snapshot to
 ``benchmarks/results/BENCH_<rev>.json``.
 
 The latest *committed* snapshot acts as the regression baseline: CI runs
-``repro bench --quick`` and fails when any experiment's normalised score
-regresses by more than the tolerance (default 25 %).  With
+``repro bench --quick`` and fails when any experiment's headline metric
+— calibrated simulation events/sec, falling back to the normalised
+wall-time score against schema-1 baselines — regresses by more than the
+tolerance (default 25 %).  With
 ``--parallel N`` the suite is additionally fanned across worker
 processes (one experiment per worker) and the serial/parallel speedup is
 reported and recorded.
@@ -169,6 +171,23 @@ class SweepSnapshot:
             return ""
         return f"{events / seconds:,.0f}"
 
+    def calibrated_rate(self, name: str) -> float | None:
+        """Calibration-normalised throughput: events per calibration unit.
+
+        Dividing the wall time by the calibration loop's makes the rate
+        transfer across machines the same way scores do; ``None`` when
+        the snapshot carries no event count for the experiment (e.g. a
+        schema-1 baseline).
+        """
+        entry = self.experiments.get(name)
+        if entry is None:
+            return None
+        seconds, _ = entry
+        events = self.events.get(name, 0)
+        if not events or seconds <= 0 or self.calibration_seconds <= 0:
+            return None
+        return events / (seconds / self.calibration_seconds)
+
     def table(self) -> str:
         """The snapshot as a text table."""
         rows: list[list[object]] = [
@@ -194,16 +213,36 @@ class SweepSnapshot:
                 tolerance: float = 0.25) -> tuple[str, list[str]]:
         """(comparison table, regression messages) vs a baseline.
 
-        Scores, not raw seconds, are compared: both sides are normalised
-        by their own calibration loop, so a slower CI machine does not
-        read as a regression.
+        The headline metric is calibrated events/sec — simulation
+        throughput, which is what the fast-path work actually optimises
+        — whenever both snapshots carry event counts for an experiment;
+        a drop beyond the tolerance is a regression.  Experiments
+        missing an event count on either side (schema-1 baselines) fall
+        back to the normalised wall-time score, where a *rise* beyond
+        the tolerance regresses.  Both metrics are calibration-
+        normalised, so a slower CI machine does not read as a
+        regression.
         """
         rows: list[list[object]] = []
         regressions: list[str] = []
         for name, (_, score) in self.experiments.items():
             base = baseline.experiments.get(name)
             if base is None:
-                rows.append([name, "", f"{score:.2f}", "new"])
+                rows.append([name, "", "", f"{score:.2f}", "new"])
+                continue
+            rate = self.calibrated_rate(name)
+            base_rate = baseline.calibrated_rate(name)
+            if rate is not None and base_rate:
+                change = (rate - base_rate) / base_rate
+                verdict = f"{change:+.1%}"
+                if change < -tolerance:
+                    verdict += " REGRESSION"
+                    regressions.append(
+                        f"{name}: events/s {rate:,.0f} vs baseline "
+                        f"{base_rate:,.0f} ({change:+.1%} < "
+                        f"-{tolerance:.0%} tolerance)")
+                rows.append([name, "events/s", f"{base_rate:,.0f}",
+                             f"{rate:,.0f}", verdict])
                 continue
             base_score = base[1]
             change = (score - base_score) / base_score if base_score \
@@ -215,11 +254,11 @@ class SweepSnapshot:
                     f"{name}: score {score:.2f} vs baseline "
                     f"{base_score:.2f} ({change:+.1%} > "
                     f"{tolerance:.0%} tolerance)")
-            rows.append([name, f"{base_score:.2f}", f"{score:.2f}",
-                         verdict])
+            rows.append([name, "score", f"{base_score:.2f}",
+                         f"{score:.2f}", verdict])
         table = render_table(
-            ["experiment", f"baseline ({baseline.rev})", "current",
-             "change"],
+            ["experiment", "metric", f"baseline ({baseline.rev})",
+             "current", "change"],
             rows, title="vs committed baseline")
         return table, regressions
 

@@ -231,21 +231,30 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # process-wide activation (the CLI's hook; the library default is off)
 
-_CURRENT: ResultCache | None = None
+_CURRENT: "ResultCache | bool | None" = None
 _ENV_CACHE: ResultCache | None = None
 
 
-def configure(cache: ResultCache | None) -> None:
-    """Install (or with ``None`` remove) the process-wide cache."""
+def configure(cache: "ResultCache | bool | None") -> None:
+    """Install the process-wide cache.
+
+    ``None`` removes a configured cache (the ``REPRO_CACHE=1``
+    environment fallback applies again); ``False`` forces caching off
+    even against the environment — ``repro monitor`` uses this so a
+    monitored run always simulates instead of replaying, which would
+    leave the live bus with nothing to stream.
+    """
     global _CURRENT
     _CURRENT = cache
 
 
 def current() -> ResultCache | None:
     """The active cache: configured one, else ``REPRO_CACHE=1``, else
-    ``None`` (caching off)."""
+    ``None`` (caching off); ``configure(False)`` forces off."""
     global _ENV_CACHE
-    if _CURRENT is not None:
+    if _CURRENT is False:
+        return None
+    if isinstance(_CURRENT, ResultCache):
         return _CURRENT
     if os.environ.get(ENV_ENABLED, "").lower() in ("1", "true", "yes",
                                                    "on"):

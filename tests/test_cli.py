@@ -168,6 +168,54 @@ def test_explain_missing_path_is_an_error(tmp_path, capsys):
 
 
 # ------------------------------------------------------------------
+# the monitor subcommand
+# ------------------------------------------------------------------
+
+def test_monitor_runs_fig13_and_streams(tmp_path, capsys):
+    stream = tmp_path / "stream.jsonl"
+    code = main(["monitor", "fig13", "--users", "1,2",
+                 "--repetitions", "1", "--scale", "0.004",
+                 "--sim-scale", "0.125", "--port", "0",
+                 "--no-dashboard", "--jsonl", str(stream),
+                 "--slo-latency-p95", "60"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serving http://127.0.0.1:" in out
+    assert "thetasubselect vs concurrency" in out
+    assert "stream:" in out
+    from repro.obs.serve import load_stream
+    kinds = {entry["kind"] for entry in load_stream(stream)}
+    assert {"sample", "decision", "window"} <= kinds
+
+
+def test_monitor_uninstalls_the_live_pipeline(capsys):
+    from repro.obs import NULL_RECORDER, current_recorder
+    from repro.obs.live import live_bus
+    code = main(["monitor", "fig7", "--repetitions", "1",
+                 "--scale", "0.002", "--sim-scale", "0.05",
+                 "--port", "0", "--no-dashboard"])
+    assert code == 0
+    assert live_bus() is None
+    assert current_recorder() is NULL_RECORDER
+
+
+def test_monitor_rejects_inapplicable_option(capsys):
+    code = main(["monitor", "fig6", "--users", "1,2", "--port", "0",
+                 "--no-dashboard"])
+    assert code == 2
+    assert "does not accept" in capsys.readouterr().err
+
+
+def test_monitor_rejects_bad_rules_file(tmp_path, capsys):
+    path = tmp_path / "rules.json"
+    path.write_text('[{"name": "x", "series": "s", "oops": 1}]')
+    code = main(["monitor", "fig7", "--rules", str(path),
+                 "--port", "0", "--no-dashboard"])
+    assert code == 2
+    assert "unknown keys" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------
 # the verify subcommand
 # ------------------------------------------------------------------
 

@@ -1,0 +1,92 @@
+"""Golden parity: live health series == post-hoc provenance replay.
+
+One monitored run feeds two independent pipelines — the streaming bus
+(tick-by-tick) and the decision-provenance log (batch) — and the paper's
+health judgements (convergence to LONC, oscillation, allocation lag,
+SLO burn) must come out identical from both.  This is what makes the
+live numbers trustworthy: they are not approximations of the post-hoc
+analysis, they *are* it.
+"""
+
+import pytest
+
+from repro.db.clients import repeat_stream
+from repro.experiments.common import build_system
+from repro.obs import Recorder
+from repro.obs.health import (HealthConfig, SloObjective,
+                              analyze_decisions, slo_burn_from_stream)
+from repro.obs.live import LiveBus, streaming
+from repro.obs.provenance import dump_decisions, load_decisions
+from repro.obs.serve import JsonlSink, load_stream
+
+OBJECTIVE = SloObjective("latency_p95", "live.latency.p95", "<=", 0.5)
+
+
+@pytest.fixture(scope="module")
+def monitored_run(tmp_path_factory):
+    """One run observed by the live bus AND the provenance recorder."""
+    stream_path = tmp_path_factory.mktemp("golden") / "stream.jsonl"
+    bus = LiveBus(window=0.05, slos=(OBJECTIVE,))
+    sink = JsonlSink(stream_path)
+    bus.add_sink(sink)
+    recorder = Recorder()
+    try:
+        with streaming(bus):
+            sut = build_system(obs=recorder, engine="morsel",
+                               mode="adaptive", scale=0.004,
+                               sim_scale=0.125)
+            sut.run_clients(4, repeat_stream("q6", 2))
+    finally:
+        sink.close()
+    return bus, recorder, stream_path
+
+
+def test_run_produced_decisions_on_both_paths(monitored_run):
+    bus, recorder, _ = monitored_run
+    assert len(recorder.decisions) > 0
+    assert bus.decisions_seen == len(recorder.decisions)
+
+
+def test_live_health_equals_provenance_replay(monitored_run, tmp_path):
+    bus, recorder, _ = monitored_run
+    # round-trip through the on-disk log: exactly what a post-hoc
+    # analysis of a telemetry directory would read
+    path = tmp_path / "decisions.jsonl"
+    dump_decisions(recorder.decisions.all(), path)
+    replay = analyze_decisions(load_decisions(path), HealthConfig())
+    assert replay.snapshot() == bus.health.snapshot()
+
+
+def test_live_series_last_values_match_replay(monitored_run):
+    bus, recorder, _ = monitored_run
+    replay = analyze_decisions(recorder.decisions.all())
+    health = replay.tenants["db"]
+    series = bus.series
+    assert series["health.db.oscillation"].last == \
+        pytest.approx(health.oscillation)
+    assert series["health.db.flapping"].last == \
+        pytest.approx(health.flapping)
+    assert series["health.db.converged"].last == \
+        (1.0 if health.converged else 0.0)
+    if health.last_lag is not None:
+        assert series["health.db.allocation_lag"].last == \
+            float(health.last_lag)
+    if health.convergence_time is not None:
+        assert series["health.db.convergence_time"].last == \
+            pytest.approx(health.convergence_time)
+
+
+def test_slo_burn_replays_from_the_jsonl_stream(monitored_run):
+    bus, _, stream_path = monitored_run
+    (tracker,) = bus.slos
+    assert tracker.counted + tracker.skipped == bus.windows
+    replayed = slo_burn_from_stream(load_stream(stream_path), OBJECTIVE)
+    assert replayed == tracker.burn
+
+
+def test_stream_window_records_match_the_bus(monitored_run):
+    bus, _, stream_path = monitored_run
+    windows = [e for e in load_stream(stream_path)
+               if e["kind"] == "window"]
+    assert len(windows) == bus.windows
+    assert windows[-1]["decisions"] == bus.decisions_seen

@@ -1,0 +1,179 @@
+"""Alert rules: hysteresis, the three rule kinds, rules-as-data."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.alerts import (DEFAULT_RULES, AlertEngine, AlertRule,
+                              load_rules)
+from repro.obs.live import LiveBus
+
+
+def bus_with(name: str, samples) -> LiveBus:
+    bus = LiveBus(taps=())
+    for t, value in samples:
+        bus.emit(name, t, value)
+    return bus
+
+
+class TestRuleValidation:
+    def test_unknown_kind_op_severity(self):
+        with pytest.raises(ReproError):
+            AlertRule(name="x", series="s", kind="gradient")
+        with pytest.raises(ReproError):
+            AlertRule(name="x", series="s", op="!=")
+        with pytest.raises(ReproError):
+            AlertRule(name="x", series="s", severity="meh")
+
+    def test_window_counts_must_be_positive(self):
+        with pytest.raises(ReproError):
+            AlertRule(name="x", series="s", for_windows=0)
+        with pytest.raises(ReproError):
+            AlertRule(name="x", series="s", window=0)
+
+    def test_absence_needs_no_op(self):
+        AlertRule(name="x", series="s", kind="absence", op="whatever")
+
+
+class TestThresholdHysteresis:
+    RULE = AlertRule(name="hot", series="health.*.oscillation",
+                     op=">=", value=0.5, for_windows=2, clear_windows=2)
+
+    def test_fires_after_for_windows_breaches(self):
+        engine = AlertEngine([self.RULE])
+        bus = bus_with("health.db.oscillation", [(1.0, 0.8)])
+        assert engine.evaluate(1.0, bus) == []  # one breach: armed only
+        events = engine.evaluate(2.0, bus)
+        assert [e["event"] for e in events] == ["firing"]
+        assert events[0]["series"] == "health.db.oscillation"
+        assert events[0]["value"] == 0.8
+        assert engine.firing()[0].rule.name == "hot"
+
+    def test_one_good_window_does_not_resolve(self):
+        engine = AlertEngine([self.RULE])
+        bus = bus_with("health.db.oscillation", [(1.0, 0.8)])
+        engine.evaluate(1.0, bus)
+        engine.evaluate(2.0, bus)  # firing
+        bus.emit("health.db.oscillation", 3.0, 0.1)
+        assert engine.evaluate(3.0, bus) == []  # still firing
+        events = engine.evaluate(4.0, bus)
+        assert [e["event"] for e in events] == ["resolved"]
+        assert engine.firing() == []
+
+    def test_one_noisy_window_never_pages(self):
+        engine = AlertEngine([self.RULE])
+        bus = bus_with("health.db.oscillation", [(1.0, 0.8)])
+        engine.evaluate(1.0, bus)
+        bus.emit("health.db.oscillation", 2.0, 0.1)  # back to good
+        engine.evaluate(2.0, bus)
+        bus.emit("health.db.oscillation", 3.0, 0.8)
+        assert engine.evaluate(3.0, bus) == []  # streak was reset
+
+
+class TestTrendRules:
+    def test_rising_slope_breaches(self):
+        rule = AlertRule(name="climbing", series="live.latency.p95",
+                         kind="trend", op=">", value=0.5, window=4)
+        bus = bus_with("live.latency.p95",
+                       [(0.0, 0.1), (1.0, 1.1), (2.0, 2.1)])
+        events = AlertEngine([rule]).evaluate(2.0, bus)
+        assert [e["event"] for e in events] == ["firing"]
+        assert events[0]["value"] == pytest.approx(1.0)  # the slope
+
+    def test_flat_series_does_not_breach(self):
+        rule = AlertRule(name="climbing", series="live.latency.p95",
+                         kind="trend", op=">", value=0.5, window=4)
+        bus = bus_with("live.latency.p95", [(0.0, 1.0), (2.0, 1.0)])
+        assert AlertEngine([rule]).evaluate(2.0, bus) == []
+
+
+class TestAbsenceRules:
+    RULE = AlertRule(name="dark", series="live.throughput",
+                     kind="absence", window=2)
+
+    def test_missing_series_is_an_absence(self):
+        bus = LiveBus(taps=())
+        events = AlertEngine([self.RULE]).evaluate(10.0, bus)
+        assert [e["event"] for e in events] == ["firing"]
+
+    def test_fresh_sample_clears_the_absence(self):
+        # window=2 flush windows of 0.25s: fresh means within 0.5s
+        bus = bus_with("live.throughput", [(9.8, 5.0)])
+        assert AlertEngine([self.RULE]).evaluate(10.0, bus) == []
+
+    def test_stale_sample_is_still_an_absence(self):
+        bus = bus_with("live.throughput", [(1.0, 5.0)])
+        events = AlertEngine([self.RULE]).evaluate(10.0, bus)
+        assert [e["event"] for e in events] == ["firing"]
+
+
+class TestProvenanceLinks:
+    def test_transitions_carry_the_last_acting_decision(self):
+        from repro.obs.provenance import Decision
+        bus = bus_with("health.db.oscillation", [(1.0, 0.9)])
+        bus.health.observe(Decision(
+            time=0.8, tick=3, strategy="cpu_load", metric=80.0,
+            th_min=10.0, th_max=70.0, state="Overload", entry="t1",
+            entry_guard="g", exit="t5", exit_guard="g",
+            action="allocate", mode="default", core=2, node=0,
+            cores_before=1, cores_after=2, tenant="db"))
+        rule = AlertRule(name="hot", series="health.*.oscillation",
+                        op=">=", value=0.5)
+        (event,) = AlertEngine([rule]).evaluate(1.0, bus)
+        assert event["provenance"]["db"]["tick"] == 3
+        assert event["provenance"]["db"]["action"] == "allocate"
+
+
+class TestEngineSnapshot:
+    def test_snapshot_counts_firing_and_keeps_transitions(self):
+        rule = AlertRule(name="hot", series="s", op=">=", value=1.0)
+        engine = AlertEngine([rule])
+        bus = bus_with("s", [(1.0, 2.0)])
+        engine.evaluate(1.0, bus)
+        snapshot = engine.snapshot()
+        assert snapshot["firing"] == 1
+        assert [s["alert"] for s in snapshot["rules"]] == ["hot"]
+        assert len(snapshot["transitions"]) == 1
+
+    def test_default_rules_cover_the_monitoring_idioms(self):
+        kinds = {rule.kind for rule in DEFAULT_RULES}
+        assert kinds == {"threshold", "absence"}
+        names = {rule.name for rule in DEFAULT_RULES}
+        assert {"controller_flapping", "slo_burn_high",
+                "telemetry_absent"} <= names
+
+
+class TestRulesAsData:
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps([
+            {"name": "hot", "series": "health.*.oscillation",
+             "op": ">=", "value": 0.7, "for_windows": 2,
+             "severity": "critical"},
+            {"name": "dark", "series": "live.*", "kind": "absence",
+             "window": 4},
+        ]))
+        rules = load_rules(path)
+        assert [r.name for r in rules] == ["hot", "dark"]
+        assert rules[0].value == 0.7
+        assert rules[1].kind == "absence"
+
+    def test_unknown_keys_fail_loudly(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(
+            [{"name": "x", "series": "s", "treshold": 5}]))
+        with pytest.raises(ReproError, match="unknown keys"):
+            load_rules(path)
+
+    def test_malformed_files_rejected(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("not json")
+        with pytest.raises(ReproError):
+            load_rules(path)
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ReproError, match="JSON list"):
+            load_rules(path)
+        path.write_text(json.dumps([{"series": "s"}]))
+        with pytest.raises(ReproError, match="needs 'name'"):
+            load_rules(path)

@@ -8,7 +8,8 @@ from repro.errors import ReproError
 from repro.obs import (Recorder, dump_chrome_trace, dump_metrics_jsonl,
                        export_run, load_metrics_jsonl,
                        render_prometheus, stats_table)
-from repro.obs.export import prometheus_name
+from repro.obs.export import (escape_label_value, format_labels,
+                              prometheus_name, render_family)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
 
@@ -46,6 +47,58 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_help_and_type_once_per_family(self):
+        text = render_prometheus(loaded_registry())
+        for family in ("repro_controller_ticks",
+                       "repro_cpuset_allowed_cores",
+                       "repro_db_query_seconds"):
+            assert text.count(f"# HELP {family} ") == 1
+            assert text.count(f"# TYPE {family} ") == 1
+
+    def test_colliding_names_of_one_kind_merge_into_one_family(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b_c").inc(1)
+        reg.counter("a.b.c").inc(2)
+        text = render_prometheus(reg)
+        assert text.count("# TYPE repro_a_b_c counter") == 1
+        samples = [line for line in text.splitlines()
+                   if not line.startswith("#")]
+        assert sorted(samples) == ["repro_a_b_c 1", "repro_a_b_c 2"]
+
+    def test_colliding_names_of_different_kinds_are_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b_c").inc(1)
+        reg.gauge("a.b.c").set(2)
+        with pytest.raises(ReproError, match="both"):
+            render_prometheus(reg)
+
+
+class TestExpositionEscaping:
+    def test_label_values_escape_reserved_characters(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("plain") == "plain"
+
+    def test_format_labels(self):
+        assert format_labels({}) == ""
+        assert format_labels({"le": "0.1"}) == '{le="0.1"}'
+        assert format_labels({"tenant": 'o"ltp'}) == \
+            '{tenant="o\\"ltp"}'
+
+    def test_render_family_escapes_labels_and_help(self):
+        lines = render_family(
+            "repro_x", "gauge", "help with\nnewline",
+            [("", {"tenant": 'a"b\\c'}, 1.5)])
+        assert lines[0] == "# HELP repro_x help with\\nnewline"
+        assert lines[1] == "# TYPE repro_x gauge"
+        assert lines[2] == 'repro_x{tenant="a\\"b\\\\c"} 1.5'
+
+    def test_render_family_integer_samples_stay_integers(self):
+        lines = render_family("repro_x", "counter", "h",
+                              [("_total", {}, 7)])
+        assert lines[2] == "repro_x_total 7"
 
 
 class TestMetricsJsonl:

@@ -1,0 +1,220 @@
+"""The monitor endpoint: sinks, live families, HTTP, the driver."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import Recorder
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.live import LiveBus, live_bus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.serve import (JsonlSink, MonitorServer, live_families,
+                             load_stream, render_dashboard,
+                             render_live_prometheus, run_monitor)
+
+
+# ----------------------------------------------------------------------
+# the streaming sink
+# ----------------------------------------------------------------------
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlSink(path)
+        sink.write("sample", {"t": 1.0, "series": "x", "value": 2.0})
+        sink.write("window", {"t": 1.0, "windows": 1})
+        sink.close()
+        assert sink.written == 2
+        entries = load_stream(path)
+        assert [e["kind"] for e in entries] == ["sample", "window"]
+        assert entries[0]["value"] == 2.0
+
+    def test_bus_integration_streams_everything(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlSink(path)
+        bus = LiveBus(taps=())
+        bus.add_sink(sink)
+        bus.emit("x", 1.0, 42.0)
+        bus.flush(SimpleNamespace(
+            now=1.0, obs=SimpleNamespace(metrics=MetricsRegistry())))
+        sink.close()
+        kinds = [e["kind"] for e in load_stream(path)]
+        assert kinds == ["sample", "window"]
+
+    def test_invalid_lines_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("nope\n")
+        with pytest.raises(ReproError):
+            load_stream(path)
+        path.write_text('{"no": "kind"}\n')
+        with pytest.raises(ReproError):
+            load_stream(path)
+
+
+# ----------------------------------------------------------------------
+# live Prometheus families
+# ----------------------------------------------------------------------
+
+def monitored_bus() -> LiveBus:
+    engine = AlertEngine([AlertRule(name="hot", series="x",
+                                    op=">=", value=100.0)])
+    bus = LiveBus(taps=(), alerts=engine)
+    bus.emit("health.db.oscillation", 1.0, 0.25)
+    bus.emit("slo.latency_p95.burn", 1.0, 0.1)
+    bus.emit("live.cores.db", 1.0, 3.0)
+    bus.emit("live.metric.db", 1.0, 55.0)
+    bus.emit("live.throughput", 1.0, 120.0)
+    return bus
+
+
+class TestLiveFamilies:
+    def test_per_tenant_series_collapse_into_labeled_families(self):
+        families = {name: samples for name, _, _, samples
+                    in live_families(monitored_bus().snapshot())}
+        assert ("", {"tenant": "db"}, 0.25) in \
+            families["repro_health_oscillation"]
+        assert ("", {"objective": "latency_p95"}, 0.1) in \
+            families["repro_slo_burn"]
+        assert ("", {"tenant": "db"}, 3.0) in \
+            families["repro_live_cores"]
+        assert ("", {"tenant": "db"}, 55.0) in \
+            families["repro_live_metric"]
+        assert ("", {}, 120.0) in families["repro_live_throughput"]
+
+    def test_alert_and_progress_families(self):
+        families = {name: samples for name, _, _, samples
+                    in live_families(monitored_bus().snapshot())}
+        (sample,) = families["repro_alert_firing"]
+        assert sample[1] == {"alert": "hot", "severity": "warning"}
+        assert sample[2] == 0  # not firing yet
+        assert families["repro_live_windows"] == [("", {}, 0)]
+        assert families["repro_live_decisions"] == [("", {}, 0)]
+
+    def test_rendered_exposition_has_help_and_type_once(self):
+        text = render_live_prometheus(monitored_bus())
+        assert text.count("# TYPE repro_health_oscillation gauge") == 1
+        assert text.count("# HELP repro_health_oscillation") == 1
+        assert 'repro_health_oscillation{tenant="db"} 0.25' in text
+        assert 'repro_slo_burn{objective="latency_p95"} 0.1' in text
+
+
+# ----------------------------------------------------------------------
+# HTTP server
+# ----------------------------------------------------------------------
+
+def _get(url: str) -> tuple[int, str]:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestMonitorServer:
+    @pytest.fixture()
+    def server(self):
+        recorder = Recorder()
+        recorder.metrics.counter("controller.ticks").inc(3)
+        server = MonitorServer("127.0.0.1", 0, recorder,
+                               monitored_bus())
+        server.start()
+        yield server
+        server.stop()
+
+    def test_metrics_merges_registry_and_live(self, server):
+        status, body = _get(
+            f"http://127.0.0.1:{server.port}/metrics")
+        assert status == 200
+        assert "repro_controller_ticks 3" in body
+        assert 'repro_health_oscillation{tenant="db"} 0.25' in body
+
+    def test_health_document(self, server):
+        status, body = _get(
+            f"http://127.0.0.1:{server.port}/health")
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "ok"
+        assert document["windows"] == 0
+        assert [a["alert"] for a in document["alerts"]] == ["hot"]
+
+    def test_root_and_unknown_paths(self, server):
+        status, body = _get(f"http://127.0.0.1:{server.port}/")
+        assert status == 200 and "/metrics" in body
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"http://127.0.0.1:{server.port}/nope")
+        assert err.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# dashboard + driver
+# ----------------------------------------------------------------------
+
+class TestDashboard:
+    def test_frame_summarises_health_and_alerts(self):
+        bus = monitored_bus()
+        frame = render_dashboard(bus.snapshot(), "demo")
+        assert "repro monitor — demo" in frame
+        assert "alerts: none firing" in frame
+
+    def test_warming_up_before_the_first_flush(self):
+        frame = render_dashboard(LiveBus(taps=()).snapshot(), "demo")
+        assert "warming up" in frame
+
+
+class _Result:
+    @staticmethod
+    def table() -> str:
+        return "the-result-table"
+
+
+def _streaming_runner(samples=8, value=100.0):
+    """An 'experiment' that emits into the installed bus and flushes."""
+
+    def runner(**kwargs):
+        bus = live_bus()
+        registry = MetricsRegistry()
+        for i in range(samples):
+            t = 0.25 * (i + 1)
+            bus.emit("live.throughput", t, value)
+            bus.flush(SimpleNamespace(
+                now=t, obs=SimpleNamespace(metrics=registry)))
+        return _Result()
+
+    return runner
+
+
+class TestRunMonitor:
+    def test_smoke(self, tmp_path):
+        out = io.StringIO()
+        stream = tmp_path / "stream.jsonl"
+        code = run_monitor(
+            _streaming_runner(), {}, title="demo", port=0,
+            jsonl=stream, refresh=0.01, dashboard=False, out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "serving http://127.0.0.1:" in text
+        assert "the-result-table" in text
+        kinds = {e["kind"] for e in load_stream(stream)}
+        assert kinds == {"sample", "window"}
+        assert live_bus() is None  # uninstalled on the way out
+
+    def test_fail_on_alert(self):
+        rule = AlertRule(name="hot", series="live.throughput",
+                         op=">=", value=50.0)
+        code = run_monitor(
+            _streaming_runner(), {}, title="demo", port=0,
+            rules=[rule], refresh=0.01, dashboard=False,
+            fail_on_alert=True, out=io.StringIO())
+        assert code == 1
+
+    def test_worker_errors_propagate(self):
+        def broken(**kwargs):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_monitor(broken, {}, title="demo", port=0,
+                        refresh=0.01, dashboard=False,
+                        out=io.StringIO())
+        assert live_bus() is None

@@ -1,0 +1,116 @@
+"""Property-based tests: live-aggregator invariants under random input."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.live import Ewma, P2Quantile, Series, WindowRate
+
+values = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+quantiles = st.floats(min_value=0.05, max_value=0.95)
+
+
+@given(st.lists(values, min_size=1, max_size=200),
+       st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=60)
+def test_ewma_stays_within_observed_range(observations, alpha):
+    ewma = Ewma(alpha=alpha)
+    for value in observations:
+        ewma.update(value)
+        # a convex combination can never escape the observed range
+        assert min(observations) - 1e-6 <= ewma.value \
+            <= max(observations) + 1e-6
+    assert ewma.count == len(observations)
+
+
+@given(st.lists(values, min_size=1, max_size=200), quantiles)
+@settings(max_examples=60)
+def test_p2_estimate_bounded_by_observed_extremes(observations, q):
+    sketch = P2Quantile(q)
+    for value in observations:
+        sketch.observe(value)
+    estimate = sketch.value()
+    assert estimate is not None
+    assert min(observations) - 1e-9 <= estimate \
+        <= max(observations) + 1e-9
+
+
+@given(st.lists(values, min_size=1, max_size=5), quantiles)
+@settings(max_examples=60)
+def test_p2_exact_below_five_observations(observations, q):
+    sketch = P2Quantile(q)
+    for value in observations:
+        sketch.observe(value)
+    ordered = sorted(observations)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    assert sketch.value() == ordered[rank]
+
+
+@given(st.lists(st.integers(min_value=1000, max_value=100_000),
+                min_size=50, max_size=400), quantiles)
+@settings(max_examples=30)
+def test_p2_tracks_the_sorted_reference(samples, q):
+    """On longer streams the sketch lands near the true quantile.
+
+    P² has no hard error guarantee, so the property is deliberately
+    loose: the estimate falls between the 'neighbouring' order
+    statistics a quarter of the stream away on either side.
+    """
+    sketch = P2Quantile(q)
+    for value in samples:
+        sketch.observe(float(value))
+    ordered = sorted(samples)
+    n = len(ordered)
+    lo = ordered[max(0, math.floor((q - 0.25) * n))]
+    hi = ordered[min(n - 1, math.ceil((q + 0.25) * n))]
+    assert lo <= sketch.value() <= hi
+
+
+@given(st.lists(positive, min_size=2, max_size=100))
+@settings(max_examples=60)
+def test_window_rate_nonnegative_for_monotone_counters(increments):
+    rate = WindowRate()
+    total = 0.0
+    for i, increment in enumerate(increments):
+        total += increment
+        observed = rate.update(float(i + 1), total)
+        if i == 0:
+            assert observed is None  # no window exists yet
+        else:
+            assert observed is not None and observed >= 0.0
+
+
+@given(st.lists(positive, min_size=2, max_size=100))
+@settings(max_examples=60)
+def test_window_rate_integrates_back_to_the_total(increments):
+    """Sum of rate x window over all windows == the counter's growth."""
+    rate = WindowRate()
+    total = 0.0
+    recovered = 0.0
+    for i, increment in enumerate(increments):
+        total += increment
+        observed = rate.update(float(i + 1), total)
+        if observed is not None:
+            recovered += observed * 1.0  # dt is always 1.0 here
+    assert recovered == pytest.approx(total - increments[0],
+                                      rel=1e-6, abs=1e-6)
+
+
+@given(st.lists(st.tuples(positive, values), min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=60)
+def test_series_ring_is_bounded_and_summary_consistent(samples, keep):
+    series = Series("s", keep=keep)
+    t = 0.0
+    for dt, value in samples:
+        t += dt + 1e-3
+        series.add(t, value)
+    assert len(series.samples) <= keep
+    assert series.count == len(samples)
+    assert series.last == samples[-1][1]
+    assert series.last_time == t

@@ -80,6 +80,34 @@ def test_compare_flags_regressions_beyond_tolerance():
     assert regressions == []
 
 
+def test_compare_headline_is_events_per_second_when_available():
+    baseline = _report("aaa", 1.0, {"fig13": 10.0})
+    baseline.events["fig13"] = 1000
+    current = _report("bbb", 2.0, {"fig13": 10.0})
+    current.events["fig13"] = 500  # throughput halved, scores equal
+    table, regressions = current.compare(baseline, tolerance=0.25)
+    assert "events/s" in table
+    assert len(regressions) == 1
+    assert "events/s" in regressions[0]
+
+    current.events["fig13"] = 1000  # throughput restored
+    _, regressions = current.compare(baseline, tolerance=0.25)
+    assert regressions == []
+
+
+def test_compare_falls_back_to_score_without_event_counts():
+    # schema-1 baselines carry no event counts: fig13 compares by
+    # events/s, fig16 (missing on the baseline side) by score
+    baseline = _report("aaa", 1.0, {"fig13": 10.0, "fig16": 4.0})
+    baseline.events["fig13"] = 1000
+    current = _report("bbb", 2.0, {"fig13": 10.0, "fig16": 6.0})
+    current.events["fig13"] = 1000
+    current.events["fig16"] = 500
+    table, regressions = current.compare(baseline, tolerance=0.25)
+    assert len(regressions) == 1
+    assert "fig16" in regressions[0] and "score" in regressions[0]
+
+
 def test_compare_treats_new_experiments_as_informational():
     baseline = _report("aaa", 1.0, {"fig13": 10.0})
     current = _report("bbb", 2.0, {"fig13": 10.0, "fig16": 99.0})
