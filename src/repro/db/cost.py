@@ -20,10 +20,12 @@ locality — and the cost of losing it — visible to the simulator).
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..errors import PlanError
 from ..hardware.memory import MemorySystem
+from ..pages import PageSegments
 
 
 @dataclass(frozen=True)
@@ -112,7 +114,10 @@ class CompiledQuery:
 
     name: str
     stage_items: list[list[ItemSpec]]
-    intermediate_pages: list[int]
+    #: pages of every stage output, kept as contiguous per-stage runs
+    #: (:class:`~repro.pages.PageSegments`) so the release path frees
+    #: whole ranges instead of walking page ids
+    intermediate_pages: Sequence[int]
 
     @property
     def n_stages(self) -> int:
@@ -120,12 +125,12 @@ class CompiledQuery:
         return len(self.stage_items)
 
 
-def _slice_range(pages: range, part: int, n_parts: int) -> list[int]:
+def _slice_range(pages: range, part: int, n_parts: int) -> range:
     """Contiguous partition ``part`` of ``n_parts`` over a page range."""
     n = len(pages)
     lo = (n * part) // n_parts
     hi = (n * (part + 1)) // n_parts
-    return list(pages)[lo:hi]
+    return pages[lo:hi]
 
 
 def compile_profile(profile, catalog, n_workers: int,
@@ -148,7 +153,7 @@ def compile_profile(profile, catalog, n_workers: int,
     page_bytes = memory.page_bytes
     stage_outputs: list[range] = []
     stage_items: list[list[ItemSpec]] = []
-    all_intermediate: list[int] = []
+    all_intermediate: list[range] = []
 
     for stage in profile.stages:
         if not stage.parallel:
@@ -163,31 +168,47 @@ def compile_profile(profile, catalog, n_workers: int,
             else 0
         out_pages = memory.allocate(n_out_pages)
         stage_outputs.append(out_pages)
-        all_intermediate.extend(out_pages)
+        if len(out_pages):
+            all_intermediate.append(out_pages)
 
-        shared_pages: list[int] = []
-        for producer in stage.shared_consumes:
-            shared_pages.extend(stage_outputs[producer])
+        shared_segments = [stage_outputs[producer]
+                           for producer in stage.shared_consumes
+                           if len(stage_outputs[producer])]
 
-        point_pages: list[int] = []
+        point_segments: list[range] = []
         for table_name, column, fraction, n_pages in stage.point_reads:
             pages = catalog.table(table_name).bat(column).pages
             if len(pages):
                 start = min(int(fraction * len(pages)),
                             len(pages) - 1)
                 stop = min(start + n_pages, len(pages))
-                point_pages.extend(list(pages)[start:stop])
+                point_segments.append(pages[start:stop])
 
         items = []
         for part in range(workers):
-            reads: list[int] = list(point_pages)
+            # each non-empty page source is one contiguous segment; a
+            # single-segment item keeps its native range, multi-segment
+            # items keep their runs behind PageSegments — either way the
+            # VM/cache layers see contiguous runs to stream with array
+            # fast paths
+            segments: list = list(point_segments)
             for table_name, column in stage.base_reads:
                 bat = catalog.table(table_name).bat(column)
-                reads.extend(bat.page_slice(part, workers))
+                pages = bat.page_slice(part, workers)
+                if pages:
+                    segments.append(pages)
             for producer in stage.consumes:
-                reads.extend(_slice_range(stage_outputs[producer],
-                                          part, workers))
-            reads.extend(shared_pages)
+                pages = _slice_range(stage_outputs[producer],
+                                     part, workers)
+                if pages:
+                    segments.append(pages)
+            segments.extend(shared_segments)
+            if not segments:
+                reads: Sequence[int] = ()
+            elif len(segments) == 1:
+                reads = segments[0]
+            else:
+                reads = PageSegments(segments)
             writes = _slice_range(out_pages, part, workers)
             items.append(ItemSpec(
                 label=stage.label,
@@ -201,5 +222,5 @@ def compile_profile(profile, catalog, n_workers: int,
     return CompiledQuery(
         name=profile.name,
         stage_items=stage_items,
-        intermediate_pages=all_intermediate,
+        intermediate_pages=PageSegments(all_intermediate),
     )

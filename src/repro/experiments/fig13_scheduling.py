@@ -136,6 +136,25 @@ def warm_group_base(users: int, repetitions: int, scale: float,
         scale=scale, sim_scale=sim_scale)
 
 
+def run_traced(mode: str | None = "adaptive", users: int = 4,
+               repetitions: int = 2, scale: float = 0.01,
+               sim_scale: float = 1.0) -> tuple[Fig13Cell, list]:
+    """One cold cell plus its full event trace.
+
+    The golden-parity harness: CI runs this once against the seed-pinned
+    fixture and diffs the exported trace byte-for-byte, so any change to
+    event delivery order — queue refactors included — fails loud.
+    """
+    warmup, measured = _split_repetitions(repetitions)
+    sut = build_system(engine="monetdb", mode=None, scale=scale,
+                       sim_scale=sim_scale)
+    if warmup:
+        sut.run_clients(users, repeat_stream(WORKLOAD_QUERY, warmup))
+    attach_controller(sut, mode)
+    cell = _measure_cell(sut, users, measured)
+    return cell, sut.os.tracer.all()
+
+
 def run(users: tuple[int, ...] = DEFAULT_USERS, repetitions: int = 4,
         scale: float = 0.01, sim_scale: float = 1.0,
         parallel: int = 1, warm_start: bool = True) -> Fig13Result:

@@ -6,13 +6,17 @@ balancer arrive at a socket whose L3 does not hold their pages and must pull
 everything over the interconnect again (§II-B2, §V-A1).  A page-granular LRU
 reproduces exactly that behaviour without simulating cache lines.
 
+Residency is a plain ``dict`` whose insertion order *is* the recency
+order (coldest first): a hit re-inserts its key at the back, a miss
+evicts the front.  Plain-dict operations beat ``OrderedDict``'s linked
+list on every hot operation, and batch paths can rebuild the dict with
+C-level iteration instead of popping pages one by one.
+
 Private L1/L2 effects are folded into the operators' cycles-per-byte
 constants (see :mod:`repro.db.cost`); only the shared L3 is stateful.
 """
 
 from __future__ import annotations
-
-from collections import OrderedDict
 
 from ..errors import HardwareError
 
@@ -25,7 +29,8 @@ class SharedCache:
             raise HardwareError("cache capacity must be at least one page")
         self.capacity_pages = capacity_pages
         self.socket_id = socket_id
-        self._resident: OrderedDict[int, None] = OrderedDict()
+        #: page id -> None, insertion-ordered coldest to hottest
+        self._resident: dict[int, None] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -48,12 +53,14 @@ class SharedCache:
         """
         resident = self._resident
         if page in resident:
-            resident.move_to_end(page)
+            # re-insert at the back: the plain-dict move_to_end
+            del resident[page]
+            resident[page] = None
             self.hits += 1
             return True
         self.misses += 1
         if len(resident) >= self.capacity_pages:
-            resident.popitem(last=False)
+            del resident[next(iter(resident))]
             self.evictions += 1
         resident[page] = None
         return False
@@ -68,11 +75,15 @@ class SharedCache:
 
     def invalidate(self, pages) -> int:
         """Drop specific pages (e.g. on writer invalidation); returns count."""
-        dropped = 0
-        for page in pages:
-            if self._resident.pop(page, "absent") is None:
-                dropped += 1
-        return dropped
+        resident = self._resident
+        if not resident:
+            return 0
+        # set intersection walks ``pages`` in C; only actual victims are
+        # then deleted (typically none — cross-socket sharing is rare)
+        common = resident.keys() & pages
+        for page in common:
+            del resident[page]
+        return len(common)
 
     def flush(self) -> None:
         """Empty the cache."""

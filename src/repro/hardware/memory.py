@@ -6,6 +6,13 @@ Pages are identified by dense global integers handed out by
 (:mod:`repro.opsys.vm` decides *where*, this module records it and tracks
 bank occupancy).
 
+The home map is a dense numpy array indexed by page id (pages are dense
+by construction), with :data:`UNPLACED` as the sentinel.  Batch
+operations on contiguous page ranges — the common case, since
+allocations are ranges — run as array slices instead of per-page dict
+probes, and a snapshot pickles one buffer instead of one dict entry per
+page.
+
 The per-node byte counters written during accesses (``imc_bytes``) live in
 the shared :class:`~repro.hardware.counters.CounterBank`, wired in by
 :class:`~repro.hardware.machine.Machine`.
@@ -15,10 +22,15 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from ..errors import HardwareError
 from .topology import Topology
 
 UNPLACED = -1
+
+#: initial home-map capacity in pages; grown by doubling on allocate
+_INITIAL_CAPACITY = 1024
 
 
 class MemorySystem:
@@ -29,7 +41,9 @@ class MemorySystem:
         self.page_bytes = topology.config.page_bytes
         self.bank_pages = topology.config.dram_bytes // self.page_bytes
         self._next_page = 0
-        self._home: dict[int, int] = {}
+        #: home node per page id, :data:`UNPLACED` until first touch;
+        #: sized to capacity, valid through ``_next_page``
+        self._home = np.full(_INITIAL_CAPACITY, UNPLACED, dtype=np.int16)
         self._pages_per_node = [0] * topology.n_sockets
 
     def allocate(self, n_pages: int) -> range:
@@ -38,6 +52,13 @@ class MemorySystem:
             raise HardwareError("cannot allocate a negative page count")
         start = self._next_page
         self._next_page += n_pages
+        if self._next_page > len(self._home):
+            capacity = len(self._home)
+            while capacity < self._next_page:
+                capacity *= 2
+            grown = np.full(capacity, UNPLACED, dtype=np.int16)
+            grown[:len(self._home)] = self._home
+            self._home = grown
         return range(start, self._next_page)
 
     def allocate_bytes(self, n_bytes: int) -> range:
@@ -53,7 +74,7 @@ class MemorySystem:
         """Assign ``page`` a home node (first touch).  Idempotent-checked."""
         if not self.is_allocated(page):
             raise HardwareError(f"page {page} was never allocated")
-        if page in self._home:
+        if self._home[page] != UNPLACED:
             raise HardwareError(f"page {page} already placed")
         if not 0 <= node < self.topology.n_sockets:
             raise HardwareError(f"node {node} out of range")
@@ -70,7 +91,8 @@ class MemorySystem:
         the batch instead of once per page (a bad batch therefore raises
         *before* any page is placed).  The per-page allocation and
         double-placement checks of :meth:`place` still apply; duplicates
-        inside ``pages`` are rejected as double placements.
+        inside ``pages`` are rejected as double placements.  A contiguous
+        ascending range places as one array-slice store.
         """
         if not 0 <= node < self.topology.n_sockets:
             raise HardwareError(f"node {node} out of range")
@@ -78,13 +100,28 @@ class MemorySystem:
             raise HardwareError(f"memory bank of node {node} is full")
         home = self._home
         next_page = self._next_page
+        if (type(pages) is range and pages.step == 1
+                and 0 <= pages.start and pages.stop <= next_page):
+            span = home[pages.start:pages.stop]
+            taken = span != UNPLACED
+            if taken.any():
+                # mirror the per-page loop: the prefix before the first
+                # double placement still lands, then the batch aborts
+                first = int(np.argmax(taken))
+                span[:first] = node
+                self._pages_per_node[node] += first
+                raise HardwareError(
+                    f"page {pages.start + first} already placed")
+            span[:] = node
+            self._pages_per_node[node] += len(pages)
+            return
         placed = 0
         try:
             for page in pages:
                 if not 0 <= page < next_page:
                     raise HardwareError(
                         f"page {page} was never allocated")
-                if page in home:
+                if home[page] != UNPLACED:
                     raise HardwareError(f"page {page} already placed")
                 home[page] = node
                 placed += 1
@@ -96,17 +133,48 @@ class MemorySystem:
 
     def home(self, page: int) -> int:
         """Home node of ``page``, or :data:`UNPLACED` when not yet touched."""
-        return self._home.get(page, UNPLACED)
+        if not 0 <= page < self._next_page:
+            return UNPLACED
+        return int(self._home[page])
 
     def is_placed(self, page: int) -> bool:
         """Whether ``page`` already has a home node."""
-        return page in self._home
+        return (0 <= page < self._next_page
+                and self._home[page] != UNPLACED)
 
     def free(self, pages: Iterable[int]) -> None:
         """Return pages to the system (intermediates being dropped)."""
+        if (type(pages) is range and pages.step == 1
+                and 0 <= pages.start and pages.stop <= self._next_page):
+            n = pages.stop - pages.start
+            if n:
+                # uniform runs (one query's intermediates usually share a
+                # home) release with one comparison and one fill
+                span_bytes = self._home[pages.start:pages.stop].tobytes()
+                if span_bytes == span_bytes[:2] * n:
+                    node = int(self._home[pages.start])
+                    if node != UNPLACED:
+                        self._pages_per_node[node] -= n
+                        self._home[pages.start:pages.stop] = UNPLACED
+                    return
+            span = self._home[pages.start:pages.stop]
+            placed = span[span != UNPLACED]
+            if placed.size:
+                counts = np.bincount(placed,
+                                     minlength=self.topology.n_sockets)
+                per_node = self._pages_per_node
+                for node in np.nonzero(counts)[0]:
+                    per_node[node] -= int(counts[node])
+                span[:] = UNPLACED
+            return
+        home = self._home
+        next_page = self._next_page
         for page in pages:
-            node = self._home.pop(page, UNPLACED)
+            if not 0 <= page < next_page:
+                continue
+            node = int(home[page])
             if node != UNPLACED:
+                home[page] = UNPLACED
                 self._pages_per_node[node] -= 1
 
     def pages_on_node(self, node: int) -> int:
@@ -117,6 +185,11 @@ class MemorySystem:
         """Placed page counts per node, indexed by node id."""
         return list(self._pages_per_node)
 
+    def placed_total(self) -> int:
+        """Number of pages currently holding a home node."""
+        span = self._home[:self._next_page]
+        return int((span != UNPLACED).sum())
+
     def pages_of(self, pages: Iterable[int]) -> dict[int, int]:
         """Histogram (node -> count) of where the given pages live.
 
@@ -124,8 +197,25 @@ class MemorySystem:
         primitive behind the adaptive mode's priority queue (§IV-B2): the
         mechanism asks where a thread's address space resides.
         """
-        histogram: dict[int, int] = {}
+        if (type(pages) is range and pages.step == 1
+                and 0 <= pages.start and pages.stop <= self._next_page):
+            span = self._home[pages.start:pages.stop]
+            placed = span[span != UNPLACED]
+            histogram: dict[int, int] = {}
+            unplaced = len(span) - placed.size
+            if unplaced:
+                histogram[UNPLACED] = unplaced
+            if placed.size:
+                counts = np.bincount(placed,
+                                     minlength=self.topology.n_sockets)
+                for node in np.nonzero(counts)[0]:
+                    histogram[int(node)] = int(counts[node])
+            return histogram
+        home = self._home
+        next_page = self._next_page
+        histogram = {}
         for page in pages:
-            node = self._home.get(page, UNPLACED)
+            node = (int(home[page]) if 0 <= page < next_page
+                    else UNPLACED)
             histogram[node] = histogram.get(node, 0) + 1
         return histogram

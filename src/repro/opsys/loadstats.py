@@ -93,24 +93,16 @@ class LoadSampler:
             useful = {c: 0.0 for c in cores}
         else:
             window = current.time - previous.time
-            # the per-core deltas, read straight off the snapshot value
-            # maps (same arithmetic as CounterSnapshot.delta, minus two
-            # method calls per core per tick)
-            cur_get = current._values.get
-            prev_get = previous._values.get
-            busy = {}
-            useful = {}
-            for core in cores:
-                busy[core] = min(
-                    100.0,
-                    100.0 * (cur_get(("busy_time", core), 0.0)
-                             - prev_get(("busy_time", core), 0.0))
-                    / window)
-                useful[core] = min(
-                    100.0,
-                    100.0 * (cur_get(("useful_time", core), 0.0)
-                             - prev_get(("useful_time", core), 0.0))
-                    / window)
+            # the per-core deltas, read positionally off the two
+            # snapshots' packed family arrays (same arithmetic as
+            # CounterSnapshot.delta, minus two method calls per core
+            # per tick).  Both snapshots come from one bank, so they
+            # alias the same slot map; a slot past either array is a
+            # counter born after that snapshot, read as 0.0.
+            busy = self._percent(current, previous, "busy_time",
+                                 cores, window)
+            useful = self._percent(current, previous, "useful_time",
+                                   cores, window)
         return LoadSample(
             time=now,
             window=window,
@@ -118,3 +110,27 @@ class LoadSampler:
             per_core_useful=useful,
             allocated_cores=self.cpuset.allowed_tuple(),
         )
+
+    @staticmethod
+    def _percent(current: CounterSnapshot, previous: CounterSnapshot,
+                 name: str, cores: tuple[int, ...],
+                 window: float) -> dict[int, float]:
+        """Per-core busy percentages for one time-counter family."""
+        cur_family = current._families.get(name)
+        if cur_family is None:
+            return {c: 0.0 for c in cores}
+        slots, values = cur_family
+        n_cur = len(values)
+        prev_family = previous._families.get(name)
+        prev_values = () if prev_family is None else prev_family[1]
+        n_prev = len(prev_values)
+        out = {}
+        for core in cores:
+            pos = slots.get(core)
+            if pos is None:
+                out[core] = 0.0
+                continue
+            cur_v = values[pos] if pos < n_cur else 0.0
+            prev_v = prev_values[pos] if pos < n_prev else 0.0
+            out[core] = min(100.0, 100.0 * (cur_v - prev_v) / window)
+        return out

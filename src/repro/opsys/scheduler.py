@@ -113,6 +113,15 @@ class Scheduler:
             machine.topology.node_of_core(c)
             for c in machine.topology.all_cores()]
         self._live_threads = 0
+        # hot counter families resolved once (handles survive reset)
+        counters = machine.counters
+        self._f_tasks = counters.family("tasks")
+        self._f_stolen = counters.family("stolen_tasks")
+        self._f_useful = counters.family("useful_time")
+        self._f_query_busy = counters.family("query_busy_time")
+        self._f_query_ht = counters.family("query_ht_bytes")
+        self._f_query_imc = counters.family("query_imc_bytes")
+        self._f_query_l3 = counters.family("query_l3_miss")
         #: live (admitted, not yet exited) threads — the PID table the
         #: adaptive mode's priority queue walks
         self.threads: set[SimThread] = set()
@@ -319,7 +328,7 @@ class Scheduler:
                         continue
                 queue.remove(thread)
                 self._load[donor] -= 1
-                self.machine.counters.increment("stolen_tasks", core)
+                self._f_stolen.add(core, 1.0)
                 self._note_migration(thread, donor, core, stolen=True)
                 thread.core = core
                 queues[core].append(thread)
@@ -335,7 +344,7 @@ class Scheduler:
         self._running[core] = thread
         self._load[core] += 1
         self._c_dispatches.inc()
-        self.machine.counters.increment("tasks", core)
+        self._f_tasks.add(core, 1.0)
         if self._last_ran[core] is not thread:
             self._last_ran[core] = thread
             thread.pending_stall += self.config.context_switch_cost
@@ -372,32 +381,45 @@ class Scheduler:
         useful = 0.0
         thread.pending_stall = 0.0
 
-        cpp = item.cycles_per_page()
+        # WorkItem's done/remaining properties re-derive the same slot
+        # arithmetic on every poll; the loop below reads the slots once
+        # per slice instead (identical expressions, so identical floats)
+        total_pages = item._total_pages
+        total_cycles = item._total_cycles
+        cpp = item.cycles / total_pages if total_pages else 0.0
         page_time_est = cpp / freq + self._page_stream_time
         # guarantee progress: even when carried-over stalls (migration,
         # context switch) exceed the quantum, the chunk still retires at
         # least one slice of work — otherwise two threads alternating on
         # one core could livelock on switch costs alone
         first_slice = True
-        while (first_slice or elapsed < budget) and not item.done:
+        while first_slice or elapsed < budget:
+            remaining_pages = total_pages - item._read_pos - item._write_pos
+            if (remaining_pages == 0
+                    and total_cycles - item._cycles_done <= 1e-6):
+                break
             first_slice = False
-            if item.remaining_pages:
+            if remaining_pages:
                 want = int((budget - elapsed) / page_time_est) + 1
-                want = min(max(want, 1), item.remaining_pages)
-                batch = list(item.take_reads(want))
-                writes_from = len(batch)
-                if writes_from < want:
-                    batch.extend(item.take_writes(want - writes_from))
-                faults = touch_pages(batch, node, thread)
-                n_batch = len(batch)
-                if writes_from < n_batch:
+                want = min(max(want, 1), remaining_pages)
+                reads = item.take_reads(want)
+                writes_from = len(reads)
+                writes = (item.take_writes(want - writes_from)
+                          if writes_from < want else ())
+                # reads and writes stay as the work item's native page
+                # ranges — the VM and machine layers resolve contiguous
+                # ranges with array slices instead of per-page loops
+                faults = touch_pages(reads, node, thread)
+                if writes:
+                    faults += touch_pages(writes, node, thread)
+                n_batch = writes_from + len(writes)
+                if writes:
                     # reads then writes, summed field-by-field — the same
                     # arithmetic _merge_access performs, minus the
                     # AccessResult allocation per chunk
-                    read_result = (touch(now, core, batch[:writes_from])
+                    read_result = (touch(now, core, reads)
                                    if writes_from else None)
-                    write_result = machine.touch_write(
-                        now, core, batch[writes_from:])
+                    write_result = machine.touch_write(now, core, writes)
                     if read_result is None:
                         stall = write_result.stall_time
                         misses = write_result.misses
@@ -413,46 +435,49 @@ class Scheduler:
                         bytes_remote = (read_result.bytes_remote
                                         + write_result.bytes_remote)
                 else:
-                    result = touch(now, core, batch)
+                    result = touch(now, core, reads)
                     stall = result.stall_time
                     misses = result.misses
                     bytes_local = result.bytes_local
                     bytes_remote = result.bytes_remote
-                item.retire_cycles(n_batch * cpp)
+                done_cycles = item._cycles_done + n_batch * cpp
+                item._cycles_done = (done_cycles
+                                     if done_cycles < total_cycles
+                                     else total_cycles)
                 compute = n_batch * cpp / freq
                 useful += compute
                 elapsed += (stall + compute
                             + faults * minor_fault_cost)
                 if item.query_name:
-                    counters = machine.counters
-                    counters.add("query_ht_bytes", item.query_name,
-                                 bytes_remote)
-                    counters.add("query_imc_bytes", item.query_name,
-                                 bytes_local + bytes_remote)
-                    counters.add("query_l3_miss", item.query_name,
-                                 misses)
+                    name = item.query_name
+                    self._f_query_ht.add(name, bytes_remote)
+                    self._f_query_imc.add(name, bytes_local + bytes_remote)
+                    self._f_query_l3.add(name, misses)
             else:
                 # trailing (or pure) compute
-                need = item.remaining_cycles / freq
+                need = (total_cycles - item._cycles_done) / freq
                 run = min(need, max(budget - elapsed, budget * 0.25))
                 if run <= 0:
                     break
-                item.retire_cycles(run * freq + 1e-3)
+                done_cycles = item._cycles_done + (run * freq + 1e-3)
+                item._cycles_done = (done_cycles
+                                     if done_cycles < total_cycles
+                                     else total_cycles)
                 useful += run
                 elapsed += run
         # floats: make sure an item with no pages left ends cleanly
-        if item.remaining_pages == 0 and item.remaining_cycles < 1.0:
-            item.force_complete_cycles()
+        if (total_pages - item._read_pos - item._write_pos == 0
+                and total_cycles - item._cycles_done < 1.0):
+            item._cycles_done = total_cycles
         return max(elapsed, 1e-9), useful
 
     def _chunk_done(self, core: int, thread: SimThread, item: WorkItem,
                     elapsed: float, useful: float) -> None:
         self.machine.account_busy(core, elapsed)
-        self.machine.counters.add("useful_time", core, useful)
+        self._f_useful.add(core, useful)
         self._h_chunk.observe(elapsed)
         if item.query_name:
-            self.machine.counters.add("query_busy_time", item.query_name,
-                                      elapsed)
+            self._f_query_busy.add(item.query_name, elapsed)
         self._running[core] = None
         self._load[core] -= 1
         if item.done:
@@ -564,7 +589,7 @@ class Scheduler:
             return False
         queue.remove(victim)
         self._load[busiest] -= 1
-        self.machine.counters.increment("stolen_tasks", idlest)
+        self._f_stolen.add(idlest, 1.0)
         self._note_migration(victim, busiest, idlest, stolen=True)
         victim.core = idlest
         self._queues[idlest].append(victim)
@@ -593,7 +618,7 @@ class Scheduler:
             return False
         queue.remove(victim)
         self._load[busiest] -= 1
-        self.machine.counters.increment("stolen_tasks", idlest)
+        self._f_stolen.add(idlest, 1.0)
         self._note_migration(victim, busiest, idlest, stolen=True)
         victim.core = idlest
         self._queues[idlest].append(victim)

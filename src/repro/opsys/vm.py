@@ -11,15 +11,31 @@ The paper leans on two kernel behaviours (§II-A/B):
 
 This module implements both, and feeds each thread's per-node residency
 histogram (the adaptive mode's raw material).
+
+The per-page "which nodes mapped this" state is a dense ``bytearray``
+bitmask indexed by page id (bit ``n`` = node ``n``), mirroring the dense
+home map in :mod:`repro.hardware.memory`.  The hot
+:meth:`VirtualMemory.touch_pages` call — one per execution chunk —
+receives contiguous page ranges from the scheduler; fault detection runs
+as one ``bytes.translate`` + ``count`` over the bitmask slice, and the
+common uniform-home batches resolve placement and the residency
+histogram in O(1).  Irregular inputs take the per-page path with
+identical semantics.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..errors import HardwareError
 from ..hardware.machine import Machine
 from ..hardware.memory import UNPLACED
+from ..pages import PageSegments, VECTOR_MIN_PAGES
 from .thread import SimThread
+
+#: two little-endian ``int16`` bytes of :data:`UNPLACED` (-1); what an
+#: unplaced run of the home map looks like through ``tobytes()``
+_UNPLACED_PATTERN = (UNPLACED).to_bytes(2, "little", signed=True)
 
 
 class VirtualMemory:
@@ -35,12 +51,40 @@ class VirtualMemory:
                  migration_streak: int = 3):
         self.machine = machine
         self.counters = machine.counters
+        self._f_minor = machine.counters.family("minor_faults")
         self.numa_balancing = numa_balancing
         self.migration_streak = migration_streak
-        # page -> bitmask of nodes that have already mapped it
-        self._mapped_by: dict[int, int] = {}
+        # page -> bitmask of nodes that have already mapped it, dense
+        # by page id (grown on demand to cover the allocated space)
+        self._mapped = bytearray(1024)
+        # per-node byte-translation tables, built lazily: _seen_tables
+        # maps a bitmask byte to 1 when the node's bit is set (so
+        # translate+count counts already-mapped pages in C), _set_tables
+        # maps it to the same byte with the node's bit ored in
+        self._seen_tables: dict[int, bytes] = {}
+        self._set_tables: dict[int, bytes] = {}
         # AutoNUMA bookkeeping: page -> (last remote accessor, streak)
         self._remote_streak: dict[int, tuple[int, int]] = {}
+
+    def _mapped_span(self, stop: int) -> bytearray:
+        """The mapping bitmask, grown to cover page ids below ``stop``."""
+        mapped = self._mapped
+        if stop > len(mapped):
+            capacity = len(mapped)
+            while capacity < stop:
+                capacity *= 2
+            mapped.extend(bytes(capacity - len(mapped)))
+        return mapped
+
+    def _tables(self, node: int) -> tuple[bytes, bytes]:
+        """The (seen-probe, bit-set) translation tables for ``node``."""
+        seen = self._seen_tables.get(node)
+        if seen is None:
+            mask = 1 << node
+            seen = bytes(1 if b & mask else 0 for b in range(256))
+            self._seen_tables[node] = seen
+            self._set_tables[node] = bytes(b | mask for b in range(256))
+        return seen, self._set_tables[node]
 
     def touch_pages(self, pages: Sequence[int], node: int,
                     thread: SimThread | None = None) -> int:
@@ -51,43 +95,110 @@ class VirtualMemory:
         number of minor faults raised is returned and counted per node.
         """
         memory = self.machine.memory
-        mapped_by = self._mapped_by
-        mapped_get = mapped_by.get
-        # the per-page home probe is the hottest dict read in the system;
-        # go straight at the home map (never rebound by MemorySystem)
-        home_get = memory._home.get
+        if (type(pages) is range and pages.step == 1
+                and len(pages) >= VECTOR_MIN_PAGES
+                and 0 <= pages.start
+                and pages.stop <= memory._next_page
+                and 0 <= node < self.machine.topology.n_sockets):
+            faults = self._touch_range(pages, node, thread, memory)
+        elif (type(pages) is PageSegments
+                and len(pages) >= VECTOR_MIN_PAGES
+                and 0 <= node < self.machine.topology.n_sockets
+                and all(type(run) is range and run.step == 1 and len(run)
+                        and 0 <= run.start
+                        and run.stop <= memory._next_page
+                        for run in pages._segments)):
+            # piecewise-contiguous footprint: each run takes the bulk
+            # path on its own (mapping state commits run by run, so a
+            # page shared between runs still faults at most once)
+            faults = 0
+            for run in pages._segments:
+                faults += self._touch_range(run, node, thread, memory)
+        else:
+            faults = self._touch_each(pages, node, thread, memory)
+        if faults:
+            self._f_minor.add(node, faults)
+        if self.numa_balancing:
+            self._autonuma(pages, node)
+        return faults
+
+    def _touch_range(self, pages: range, node: int,
+                     thread: SimThread | None, memory) -> int:
+        """Bulk path for one contiguous allocated range.
+
+        The overwhelmingly common batches — a cold range first-touched in
+        one piece, or a warm range re-streamed from any node — have a
+        *uniform* home-map run, detected with one ``bytes`` comparison.
+        Those resolve with no per-page work at all; mixed-home ranges
+        fall back to the per-page loop unchanged.
+        """
+        start, stop = pages.start, pages.stop
+        n = stop - start
+        mapped = self._mapped_span(stop)
+        segment = bytes(mapped[start:stop])
+        seen_tbl, set_tbl = self._tables(node)
+        faults = n - segment.translate(seen_tbl).count(1)
+        home_arr = memory._home
+        span_bytes = home_arr[start:stop].tobytes()
+        if span_bytes != span_bytes[:2] * n:
+            # mixed homes: per-page semantics, minus the double count
+            # (the caller adds the returned faults to the counter)
+            return self._touch_each(pages, node, thread, memory)
+        if faults:
+            if span_bytes[:2] == _UNPLACED_PATTERN:
+                # uniform-unplaced implies nothing mapped it yet: the
+                # whole range first-touches onto ``node`` in one store
+                if (memory._pages_per_node[node] + n
+                        > memory.bank_pages):
+                    raise HardwareError(
+                        f"memory bank of node {node} is full")
+                home_arr[start:stop] = node
+                memory._pages_per_node[node] += n
+            mapped[start:stop] = segment.translate(set_tbl)
+            if thread is not None:
+                home0 = int(home_arr[start])
+                thread.note_pages(home0, n)
+            return faults
+        if thread is not None and span_bytes[:2] != _UNPLACED_PATTERN:
+            # warm uniform batch: the residency histogram is one entry
+            thread.note_pages(int(home_arr[start]), n)
+        return faults
+
+    def _touch_each(self, pages: Sequence[int], node: int,
+                    thread: SimThread | None, memory) -> int:
+        """Per-page path for arbitrary page sequences."""
+        top = max(pages, default=-1) + 1
+        mapped = self._mapped_span(max(top, memory._next_page))
+        n_mapped = len(mapped)
+        home_arr = memory._home
+        next_page = memory._next_page
         mask = 1 << node
         faults = 0
         to_place: list[int] = []
         for page in pages:
-            seen = mapped_get(page, 0)
+            in_range = 0 <= page < n_mapped
+            seen = mapped[page] if in_range else 0
             if seen & mask:
                 continue
-            mapped_by[page] = seen | mask
+            if in_range:
+                mapped[page] = seen | mask
             faults += 1
-            if home_get(page, UNPLACED) == UNPLACED:
+            if not 0 <= page < next_page or home_arr[page] == UNPLACED:
                 to_place.append(page)
         if to_place:
             # first-touch placements flush in one batch (only first
             # occurrences queue, so the batch is duplicate-free)
             memory.place_batch(to_place, node)
         if thread is not None:
-            # the thread's per-node residency histogram (adaptive mode's
-            # priority-queue input), read after the flush so pages
-            # first-touched above are already counted on ``node`` —
-            # exactly what the place-per-page implementation saw
             histogram: dict[int, int] = {}
             hist_get = histogram.get
             for page in pages:
-                home = home_get(page, UNPLACED)
+                home = (int(home_arr[page]) if 0 <= page < next_page
+                        else UNPLACED)
                 if home >= 0:
                     histogram[home] = hist_get(home, 0) + 1
             for home, count in histogram.items():
                 thread.note_pages(home, count)
-        if faults:
-            self.counters.add("minor_faults", node, faults)
-        if self.numa_balancing:
-            self._autonuma(pages, node)
         return faults
 
     def _autonuma(self, pages: Sequence[int], node: int) -> None:
@@ -123,17 +234,31 @@ class VirtualMemory:
             cache.invalidate([page])
         self.counters.increment("numa_page_migrations", node)
         # remote mappings are stale after the move
-        self._mapped_by[page] = 1 << node
+        self._mapped_span(page + 1)[page] = 1 << node
 
     def forget(self, pages: Sequence[int]) -> None:
         """Drop mapping state and free the pages (intermediates released)."""
-        for page in pages:
-            self._mapped_by.pop(page, None)
+        if type(pages) is PageSegments:
+            for run in pages._segments:
+                self.forget(run)
+            return
+        if type(pages) is range and pages.step == 1 and len(pages):
+            stop = min(pages.stop, len(self._mapped))
+            begin = max(pages.start, 0)
+            if begin < stop:
+                self._mapped[begin:stop] = bytes(stop - begin)
+        else:
+            mapped = self._mapped
+            n = len(mapped)
+            for page in pages:
+                if 0 <= page < n:
+                    mapped[page] = 0
         self.machine.memory.free(pages)
 
     def nodes_mapping(self, page: int) -> list[int]:
         """Which nodes have mapped ``page`` so far."""
-        seen = self._mapped_by.get(page, 0)
+        seen = (self._mapped[page]
+                if 0 <= page < len(self._mapped) else 0)
         return [n for n in self.machine.topology.all_nodes()
                 if seen & (1 << n)]
 

@@ -20,6 +20,7 @@ from collections import deque
 from collections.abc import Callable, Sequence
 
 from ..errors import SchedulerError
+from ..pages import PageSegments  # noqa: F401  (re-export: moved to repro.pages)
 
 
 class WorkItem:

@@ -1,4 +1,4 @@
-"""Event-heap discrete-event simulator.
+"""Calendar-queue discrete-event simulator.
 
 Design notes
 ------------
@@ -6,36 +6,53 @@ Design notes
   delivered in scheduling order (a monotone sequence number breaks ties), so
   runs are fully deterministic.
 * Cancellation is *lazy*: :meth:`Simulator.cancel` marks the event and the
-  main loop discards it when popped.  This keeps scheduling O(log n) without
-  heap surgery.
+  main loop discards it when popped.  This keeps scheduling O(1) without
+  queue surgery.
 * The engine knows nothing about the domain; components close over whatever
   state they need and hand plain callables to :meth:`Simulator.schedule`.
 
-Fast path
----------
-The dispatch loop in :meth:`Simulator.run` is the innermost loop of every
-experiment, so it is written against locals rather than attributes and
-fuses the peek (skip cancelled, check the ``until`` bound) with the pop —
-one heap operation per delivered event instead of the peek-then-step
-double scan the first implementation did.  Three supporting structures
-keep the rest of the engine off the profile:
+Tiered calendar queue
+---------------------
+The first implementations kept one global binary heap of events; every
+schedule and pop paid ``O(log n)`` sifts through Python-level
+``Event.__lt__`` calls.  Simulated workloads are overwhelmingly
+*near-future* and *clustered*: scheduler quanta, balance ticks and chunk
+completions all land within a few tick quanta of ``now``, and many share
+an exact timestamp (a chunk fan-out scheduled in one loop iteration).
+The queue is therefore tiered:
 
-* a **live-event counter** (`_live`) incremented on schedule and
-  decremented on first cancel or pop, so :meth:`pending` is O(1) instead
-  of an O(n) scan of the heap;
-* **timer re-arming** (:meth:`reschedule`): periodic activities (the load
-  balancer, the controller's monitor tick) re-arm one existing
-  :class:`Event` object instead of allocating a fresh one per tick — the
-  timer-wheel trick of recycling the timer cell, without the wheel's
-  bucketing (which would quantise deadlines and perturb traces).  A
-  re-arm draws a fresh sequence number exactly like :meth:`schedule`, so
-  delivery order — and therefore every golden trace — is bit-identical
-  to the cancel-and-reschedule pattern it replaces.
+* **Near tier** — a calendar of exact-timestamp buckets:
+  ``dict[time -> list[Event]]`` plus a heap of the *distinct* times.
+  Scheduling into an existing bucket is one dict probe and an append —
+  O(1) — and the time-heap sifts compare raw floats in C instead of
+  calling ``Event.__lt__``.  Because the sequence counter is monotone,
+  appends keep every bucket sorted by ``seq`` for free, and the dispatch
+  loop **batch-dequeues a whole bucket per pop**: one heap operation
+  delivers every event sharing that timestamp.
+* **Far tier** — a plain heap of ``(time, seq, event)`` tuples for
+  events beyond the near *horizon* (irregular, far-future work: idle
+  tails, client think times).  When the near tier drains, the horizon
+  advances by ``near_span`` — sized to cover a burst of scheduler tick
+  quanta — and due far events migrate into calendar buckets in
+  ``(time, seq)`` order, which preserves bucket ordering exactly.
 
-Behaviour (delivery order, tie-breaking, lazy-cancel semantics, error
-cases) is unchanged from the seed implementation; the property tests in
-``tests/test_props_sim_fastpath.py`` pin the equivalence against a
-straight reimplementation of the original loop.
+Batch dispatch contract: all events sharing a timestamp are delivered
+back-to-back in scheduling (``seq``) order before time advances.  A
+callback that schedules *at the current time* appends to the live bucket
+and is delivered in the same batch, after everything already queued —
+precisely the order the global heap produced.  Delivery order,
+tie-breaking, lazy-cancel semantics and error cases are bit-identical to
+the seed heap implementation; ``tests/test_props_sim_fastpath.py`` and
+``tests/test_props_calendar_queue.py`` pin the equivalence against a
+straight reimplementation of the original loop, and the golden traces
+pin it end-to-end.
+
+Compaction note: heavy cancellation still leaks dead cells until popped;
+past the same threshold as the seed heap (``>= 64`` dead and more dead
+than half the live count) the queue rebuilds without them.  Mid-run the
+rebuild is deferred to the next bucket boundary — the dispatch loop
+holds a reference into the live bucket — which is invisible from
+outside: compaction never changes delivery order, only memory shape.
 """
 
 from __future__ import annotations
@@ -50,9 +67,15 @@ from ..errors import SimulationError
 #: for ``repro bench``; deliberately not part of any snapshot)
 _DELIVERED_TOTAL = 0
 
-#: compaction floor: below this many dead cells the heap is left alone
-#: (tiny heaps churn more from rebuilding than from skipping)
+#: compaction floor: below this many dead cells the queue is left alone
+#: (tiny queues churn more from rebuilding than from skipping)
 _COMPACT_MIN_DEAD = 64
+
+#: default near-tier horizon extent in simulated seconds: a dozen or so
+#: scheduler tick quanta (0.004 s) / a few balance intervals (0.02 s),
+#: so periodic timers and chunk completions land in calendar buckets
+#: and only genuinely far-future work falls back to the heap tier
+_NEAR_SPAN = 0.05
 
 
 def delivered_total() -> int:
@@ -63,9 +86,10 @@ def delivered_total() -> int:
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
-    Instances order by ``(time, seq)`` so :mod:`heapq` can manage them
-    directly.  The public surface is :attr:`time`, :attr:`cancelled` and
-    :meth:`cancel` via the simulator.
+    Instances order by ``(time, seq)``; the far tier wraps them in
+    ``(time, seq, event)`` tuples so heap sifts compare in C.  The
+    public surface is :attr:`time`, :attr:`cancelled` and :meth:`cancel`
+    via the simulator.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "delivered")
@@ -93,17 +117,30 @@ class Event:
 class Simulator:
     """The event loop.  One instance drives one experiment."""
 
-    def __init__(self) -> None:
-        self._heap: list[Event] = []
+    def __init__(self, near_span: float = _NEAR_SPAN) -> None:
+        #: near tier: exact-timestamp calendar buckets, each a list of
+        #: events in scheduling (seq) order
+        self._buckets: dict[float, list[Event]] = {}
+        #: heap of the distinct bucket times (invariant: exactly the
+        #: keys of ``_buckets``, no duplicates)
+        self._times: list[float] = []
+        #: far tier: ``(time, seq, event)`` tuples beyond the horizon
+        self._far: list[tuple[float, int, Event]] = []
+        #: events at or below this absolute time go into buckets
+        self._horizon = near_span
+        self._span = near_span
         self._now = 0.0
         self._seq = 0
         self._running = False
         #: not-yet-cancelled events still queued (kept exact so
-        #: :meth:`pending` never has to scan the heap)
+        #: :meth:`pending` never has to scan the queue)
         self._live = 0
         #: cancelled events still physically queued (lazy cancellation
         #: leaks these until popped or compacted away)
         self._dead = 0
+        #: compaction requested mid-dispatch; honoured at the next
+        #: bucket boundary (the loop holds a live bucket reference)
+        self._compact_pending = False
 
     @property
     def now(self) -> float:
@@ -125,23 +162,35 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}")
         self._seq += 1
         event = Event(time, self._seq, fn, args)
-        heappush(self._heap, event)
+        self._enqueue(event)
         self._live += 1
         return event
+
+    def _enqueue(self, event: Event) -> None:
+        """Route one fresh-keyed event to its tier."""
+        time = event.time
+        if time <= self._horizon:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [event]
+                heappush(self._times, time)
+            else:
+                bucket.append(event)
+        else:
+            heappush(self._far, (time, event.seq, event))
 
     def reschedule(self, event: Event, delay: float) -> Event:
         """Re-arm a *delivered or cancelled* event ``delay`` seconds out.
 
         The allocation-free path for periodic timers: a delivered
-        :class:`Event` cell is pushed back onto the heap with a fresh
-        deadline and a fresh sequence number, so ordering semantics are
-        exactly those of :meth:`schedule` with the same callback.  A
-        *cancelled* event is still physically queued at its old key
-        (cancellation is lazy), so it cannot be revived in place —
-        mutating the key of an in-heap entry corrupts the heap; instead
-        the dead cell is left to be skipped on pop and a fresh event with
-        the same callback is scheduled.  Always use the returned event
-        for further cancel/reschedule calls.
+        :class:`Event` cell is requeued with a fresh deadline and a
+        fresh sequence number, so ordering semantics are exactly those
+        of :meth:`schedule` with the same callback.  A *cancelled* event
+        is still physically queued at its old key (cancellation is
+        lazy), so it cannot be revived in place — the dead cell is left
+        to be skipped on pop and a fresh event with the same callback is
+        scheduled.  Always use the returned event for further
+        cancel/reschedule calls.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
@@ -155,7 +204,7 @@ class Simulator:
         event.seq = self._seq
         event.cancelled = False
         event.delivered = False
-        heappush(self._heap, event)
+        self._enqueue(event)
         self._live += 1
         return event
 
@@ -165,26 +214,63 @@ class Simulator:
             event.cancelled = True
             self._live -= 1
             self._dead += 1
-            # heap hygiene: once dead cells outnumber half the live ones
-            # (and there are enough to matter), rebuild without them —
-            # long runs with heavy cancellation otherwise drag a tail of
-            # garbage through every sift
+            # queue hygiene: once dead cells outnumber half the live
+            # ones (and there are enough to matter), rebuild without
+            # them — long runs with heavy cancellation otherwise drag a
+            # tail of garbage through every dispatch
             if (self._dead >= _COMPACT_MIN_DEAD
                     and self._dead * 2 > self._live):
-                self._compact()
+                if self._running:
+                    self._compact_pending = True
+                else:
+                    self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled cells and re-heapify, in place.
+        """Drop cancelled cells and rebuild both tiers, in place.
 
-        In place because :meth:`run` holds a local reference to the heap
-        list.  Event keys ``(time, seq)`` are unique, so the pop order of
-        the rebuilt heap — and every golden trace — is bit-identical to
-        the lazy-skip path it replaces.
+        In place because :meth:`run` holds local references to the
+        bucket dict and time heap.  Event keys ``(time, seq)`` are
+        unique, so the pop order of the rebuilt queue — and every golden
+        trace — is bit-identical to the lazy-skip path it replaces.
         """
-        heap = self._heap
-        heap[:] = [event for event in heap if not event.cancelled]
-        heapify(heap)
+        buckets = self._buckets
+        for time in list(buckets):
+            bucket = buckets[time]
+            bucket[:] = [event for event in bucket if not event.cancelled]
+            if not bucket:
+                del buckets[time]
+        self._times[:] = buckets
+        heapify(self._times)
+        self._far[:] = [cell for cell in self._far
+                        if not cell[2].cancelled]
+        heapify(self._far)
         self._dead = 0
+        self._compact_pending = False
+
+    def _advance_horizon(self) -> None:
+        """Near tier drained: slide the horizon and migrate due events.
+
+        The far heap pops in ``(time, seq)`` order, so appends land in
+        every bucket already sorted by sequence number — the batch
+        dispatch contract survives migration unchanged.
+        """
+        far = self._far
+        horizon = far[0][0] + self._span
+        buckets = self._buckets
+        times = self._times
+        while far and far[0][0] <= horizon:
+            time, _seq, event = heappop(far)
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [event]
+                heappush(times, time)
+            else:
+                bucket.append(event)
+        self._horizon = horizon
+
+    def _queued(self) -> int:
+        """Events physically queued, dead cells included (test hook)."""
+        return sum(map(len, self._buckets.values())) + len(self._far)
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued.  O(1)."""
@@ -192,28 +278,44 @@ class Simulator:
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heappop(heap)
-            self._dead -= 1
-        return heap[0].time if heap else None
+        buckets = self._buckets
+        times = self._times
+        while True:
+            while times:
+                time = times[0]
+                bucket = buckets[time]
+                drop = 0
+                n = len(bucket)
+                while drop < n and bucket[drop].cancelled:
+                    drop += 1
+                if drop:
+                    del bucket[:drop]
+                    self._dead -= drop
+                if bucket:
+                    return time
+                del buckets[time]
+                heappop(times)
+            if not self._far:
+                return None
+            self._advance_horizon()
 
     def step(self) -> bool:
         """Deliver the next event.  Returns ``False`` when none remain."""
         global _DELIVERED_TOTAL
-        heap = self._heap
-        while heap:
-            event = heappop(heap)
-            if event.cancelled:
-                self._dead -= 1
-                continue
-            self._live -= 1
-            event.delivered = True
-            self._now = event.time
-            event.fn(*event.args)
-            _DELIVERED_TOTAL += 1
-            return True
-        return False
+        if self.peek_time() is None:
+            return False
+        time = self._times[0]
+        bucket = self._buckets[time]
+        event = bucket.pop(0)
+        if not bucket:
+            del self._buckets[time]
+            heappop(self._times)
+        self._live -= 1
+        event.delivered = True
+        self._now = time
+        event.fn(*event.args)
+        _DELIVERED_TOTAL += 1
+        return True
 
     def run(self, until: float | None = None,
             max_events: int | None = None) -> int:
@@ -237,28 +339,58 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         delivered = 0
-        # the fused dispatch loop: skip-cancelled, bound-check and pop in
-        # one pass over the heap head, all through locals
-        heap = self._heap
-        pop = heappop
+        # the batch dispatch loop: one time-heap pop delivers a whole
+        # same-timestamp bucket, all through locals.  Callbacks may
+        # append to the live bucket (zero-delay schedules, re-armed
+        # timers); the index loop re-reads the length so those are
+        # delivered in the same batch, in seq order.
+        buckets = self._buckets
+        times = self._times
         try:
-            while heap:
+            while True:
+                # the cap is checked before the bound clamp: a capped-out
+                # run must not advance the clock to ``until`` (seed order)
                 if max_events is not None and delivered >= max_events:
                     break
-                head = heap[0]
-                if head.cancelled:
-                    pop(heap)
-                    self._dead -= 1
+                if self._compact_pending:
+                    self._compact()
+                if not times:
+                    if not self._far:
+                        break
+                    self._advance_horizon()
                     continue
-                if until is not None and head.time > until:
-                    self._now = until
+                time = times[0]
+                if until is not None and time > until:
+                    # all queued times sit at or past the bucket
+                    # minimum, so any live event lies beyond the bound
+                    if self._live:
+                        self._now = until
                     break
-                pop(heap)
-                self._live -= 1
-                head.delivered = True
-                self._now = head.time
-                head.fn(*head.args)
-                delivered += 1
+                bucket = buckets[time]
+                i = 0
+                dead = 0
+                while i < len(bucket):
+                    event = bucket[i]
+                    if event.cancelled:
+                        i += 1
+                        dead += 1
+                        continue
+                    if max_events is not None and delivered >= max_events:
+                        break
+                    i += 1
+                    self._live -= 1
+                    event.delivered = True
+                    self._now = time
+                    event.fn(*event.args)
+                    delivered += 1
+                self._dead -= dead
+                if i < len(bucket):
+                    # max_events tripped mid-bucket: drop the consumed
+                    # prefix and leave the rest for the next run() call
+                    del bucket[:i]
+                    break
+                del buckets[time]
+                heappop(times)
         finally:
             self._running = False
             _DELIVERED_TOTAL += delivered
@@ -276,11 +408,11 @@ class Simulator:
 
         ``root`` widens the capture to a larger graph containing the
         simulator (a whole system under test); by default only the
-        simulator itself — heap, clock, sequence and live counters, and
-        everything reachable through queued callbacks — is captured.
+        simulator itself — calendar, clock, sequence and live counters,
+        and everything reachable through queued callbacks — is captured.
         ``shared`` externalises immutable atoms by identity (see
         :class:`~repro.sim.state.SimState`).  Not callable from inside
-        the dispatch loop: a mid-delivery heap has no consistent state.
+        the dispatch loop: a mid-delivery queue has no consistent state.
         """
         if self._running:
             raise SimulationError("cannot snapshot while run() is active")

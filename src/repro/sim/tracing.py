@@ -29,6 +29,13 @@ class PlacementRecord:
     core_id: int
     node_id: int
 
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (PlacementRecord, (self.time, self.thread_id, self.core_id, self.node_id))
+
+
 
 @dataclass(frozen=True, slots=True)
 class MigrationRecord:
@@ -39,6 +46,13 @@ class MigrationRecord:
     src_core: int
     dst_core: int
     stolen: bool
+
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (MigrationRecord, (self.time, self.thread_id, self.src_core, self.dst_core, self.stolen))
+
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +65,13 @@ class TransitionRecord:
     value: float
     cores_after: int
 
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (TransitionRecord, (self.time, self.label, self.state, self.value, self.cores_after))
+
+
 
 @dataclass(frozen=True, slots=True)
 class CoreAllocation:
@@ -62,6 +83,13 @@ class CoreAllocation:
     allocated: bool
     n_allocated: int
 
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (CoreAllocation, (self.time, self.core_id, self.node_id, self.allocated, self.n_allocated))
+
+
 
 @dataclass(frozen=True, slots=True)
 class ControllerTick:
@@ -71,6 +99,13 @@ class ControllerTick:
     metric: float
     state: str
     n_allocated: int
+
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (ControllerTick, (self.time, self.metric, self.state, self.n_allocated))
+
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +117,13 @@ class QueryRecord:
     query_name: str
     start_time: float
     elapsed: float
+
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (QueryRecord, (self.time, self.client_id, self.query_name, self.start_time, self.elapsed))
+
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +137,13 @@ class StageRecord:
     start_time: float
     elapsed: float
     core_id: int
+
+    def __reduce__(self):
+        # snapshots pickle traces wholesale; rebuilding via the
+        # positional __init__ skips the generic dataclass state
+        # machinery (fields() + per-field setattr lists)
+        return (StageRecord, (self.time, self.thread_id, self.query_name, self.operator, self.start_time, self.elapsed, self.core_id))
+
 
 
 _R = TypeVar("_R")

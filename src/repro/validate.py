@@ -128,7 +128,7 @@ class SystemValidator:
         histogram = memory.placement_histogram()
         if any(count < 0 for count in histogram):
             self._fail(f"negative bank occupancy: {histogram}")
-        placed = sum(1 for page in memory._home)
+        placed = memory.placed_total()
         if placed != sum(histogram):
             self._fail(f"home map holds {placed} pages but banks "
                        f"account {sum(histogram)}")

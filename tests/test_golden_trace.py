@@ -20,7 +20,9 @@ import pathlib
 
 import pytest
 
-from repro.experiments import fig07_state_transitions, fig16_migration_modes
+from repro.experiments import (fig07_state_transitions,
+                               fig13_scheduling,
+                               fig16_migration_modes)
 from repro.sim.export import dump_records, load_records
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "fixtures" / "golden"
@@ -29,6 +31,8 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "fixtures" / "golden"
 #: together with a regeneration
 FIG07_PARAMS = dict(repetitions=3, scale=0.01, sim_scale=1.0,
                     mode="adaptive", idle_tail=0.2)
+FIG13_PARAMS = dict(mode="adaptive", users=4, repetitions=2, scale=0.01,
+                    sim_scale=1.0)
 FIG16_PARAMS = dict(repetitions=1, warmup=1, scale=0.01, sim_scale=1.0)
 
 _REGEN = os.environ.get("GOLDEN_REGEN") == "1"
@@ -68,6 +72,12 @@ def test_fig07_trace_is_golden(tmp_path):
     result = fig07_state_transitions.run(**FIG07_PARAMS)
     assert result.records, "fig07 harness exported no records"
     _check(result.records, GOLDEN_DIR / "fig07_trace.jsonl", tmp_path)
+
+
+def test_fig13_trace_is_golden(tmp_path):
+    _, records = fig13_scheduling.run_traced(**FIG13_PARAMS)
+    assert records, "fig13 harness exported no records"
+    _check(records, GOLDEN_DIR / "fig13_trace.jsonl", tmp_path)
 
 
 def test_fig16_trace_is_golden(tmp_path):

@@ -79,3 +79,67 @@ def test_zero_window_rate_is_zero(bank):
     early = bank.snapshot(1.0)
     late = bank.snapshot(1.0)
     assert late.rate(early, "anything") == 0.0
+
+
+# ---------------------------------------------------------------------
+# family isolation: the array-backed layout's complexity contract
+
+
+class _Landmine:
+    """Stands in for another family's storage; detonates if touched.
+
+    The flat ``(name, index) -> float`` dict layout this bank replaced
+    had to scan *every* counter on ``total()``/``by_index()``.  Planting
+    an unreadable object as an unrelated family's value store proves the
+    reductions now touch only the requested family.
+    """
+
+    def __iter__(self):
+        raise AssertionError("reduction touched an unrelated family")
+
+    def __len__(self):
+        raise AssertionError("reduction touched an unrelated family")
+
+    def __getitem__(self, _):
+        raise AssertionError("reduction touched an unrelated family")
+
+
+def test_total_reads_only_the_requested_family(bank):
+    bank.add("busy_time", 3, 1.5)
+    bank.add("busy_time", 7, 2.5)
+    for noise in range(20):
+        bank.family(f"noise_{noise}").values = _Landmine()
+    assert bank.total("busy_time") == 4.0
+    assert bank.get("busy_time", 7) == 2.5
+
+
+def test_by_index_reads_only_the_requested_family(bank):
+    bank.add("l3_miss", 0, 5.0)
+    bank.add("l3_miss", 2, 7.0)
+    for noise in range(20):
+        bank.family(f"noise_{noise}").values = _Landmine()
+    assert bank.by_index("l3_miss") == {0: 5.0, 2: 7.0}
+
+
+def test_family_handle_survives_reset_and_keeps_slot_order(bank):
+    handle = bank.family("busy_time")
+    handle.add(9, 1.0)
+    handle.add(4, 2.0)
+    assert list(bank.family_slots("busy_time")) == [9, 4]
+    bank.reset()
+    assert bank.total("busy_time") == 0.0
+    # the same handle keeps writing into the (fresh) family storage
+    handle.add(4, 3.0)
+    assert bank.get("busy_time", 4) == 3.0
+    assert list(bank.family_slots("busy_time")) == [4]
+
+
+def test_reset_leaves_earlier_snapshots_intact(bank):
+    bank.add("l3_miss", 1, 5.0)
+    snap = bank.snapshot(1.0)
+    bank.reset()
+    bank.add("l3_miss", 2, 9.0)
+    # the pre-reset snapshot still reads the old slot layout and values
+    assert snap.get("l3_miss", 1) == 5.0
+    assert snap.by_index("l3_miss") == {1: 5.0}
+    assert bank.by_index("l3_miss") == {2: 9.0}

@@ -219,15 +219,15 @@ def test_compaction_drops_dead_cells_and_resets_counter():
     for event in events[: _COMPACT_MIN_DEAD - 1]:
         sim.cancel(event)
     assert sim._dead == _COMPACT_MIN_DEAD - 1
-    assert len(sim._heap) == 300
+    assert sim._queued() == 300
     # live=237 here, so dead*2 > live needs more cancels; push past both
     # thresholds and compaction must keep the dead tail bounded
     for event in events[_COMPACT_MIN_DEAD - 1: 200]:
         sim.cancel(event)
     assert sim.pending() == 100
     assert sim._dead < _COMPACT_MIN_DEAD
-    assert len(sim._heap) == 100 + sim._dead
-    assert len(sim._heap) < 300
+    assert sim._queued() == 100 + sim._dead
+    assert sim._queued() < 300
 
 
 def test_compaction_preserves_delivery_order():
@@ -265,7 +265,7 @@ def test_small_heaps_are_never_compacted():
     for event in events[:15]:
         sim.cancel(event)
     # dead*2 > live by far, but below the size floor
-    assert len(sim._heap) == 20
+    assert sim._queued() == 20
     assert sim.pending() == 5
     assert sim.run() == 5
 
@@ -282,3 +282,54 @@ def test_pending_stays_exact_through_cancel_compact_deliver():
     delivered = sim.run()
     assert delivered == 50
     assert sim.pending() == 0
+
+
+# ---------------------------------------------------------------------
+# calendar queue state through snapshot/fork
+
+
+def test_populated_calendar_queue_round_trips():
+    """Both tiers — near buckets and the far heap — survive capture.
+
+    The warm-up prefix of a sweep leaves events straddling the horizon:
+    same-timestamp bucket batches just ahead of ``now`` and far-future
+    think-time events beyond it.  A fork must drain them in exactly the
+    order the uninterrupted run would.
+    """
+    base = _Harness()
+    # near tier: clustered, with exact-timestamp collisions
+    for i in range(6):
+        base.sim.schedule(0.001 * (i % 3), _Append(base, i))
+    # far tier: beyond the default horizon
+    for i in range(6, 12):
+        base.sim.schedule(10.0 + 0.5 * (i % 4), _Append(base, i))
+    # a dead cell queued in each tier must stay dead in the fork
+    base.sim.cancel(base.sim.schedule(0.002, _Append(base, 97)))
+    base.sim.cancel(base.sim.schedule(11.0, _Append(base, 98)))
+
+    state = base.sim.snapshot(root=base)
+    fork = Simulator.restore(state)
+    assert fork.sim.pending() == base.sim.pending()
+    assert fork.sim._queued() == base.sim._queued()
+
+    base.sim.run_until_idle()
+    fork.sim.run_until_idle()
+    assert fork.log == base.log
+    assert fork.sim.now == base.sim.now
+    assert fork.sim.pending() == 0
+
+
+def test_forked_queue_keeps_sequence_continuity():
+    """Events scheduled after a fork keep global FIFO tie-breaking:
+    the restored engine's sequence counter continues where the captured
+    one stopped, so same-timestamp newcomers sort after survivors."""
+    base = _Harness()
+    base.sim.schedule(1.0, _Append(base, 0))
+    state = base.sim.snapshot(root=base)
+
+    for harness in (base, Simulator.restore(state)):
+        harness.sim.schedule(1.0, _Append(harness, 1))
+        harness.sim.run_until_idle()
+    fork_log = harness.log
+    assert fork_log == base.log
+    assert [tag for tag, _, _ in fork_log] == [0, 1]
