@@ -185,10 +185,11 @@ class Machine:
         bytes_remote = 0
         imc_pages: dict[int, int] = {}
 
+        resident_pop = resident.pop
         for page in pages:
-            if page in resident:
-                # plain-dict move_to_end: re-insert at the back
-                del resident[page]
+            if resident_pop(page, 0) is None:
+                # plain-dict move_to_end: pop re-inserts at the back
+                # (resident values are always None, so None == hit)
                 resident[page] = None
                 hits += 1
                 continue
@@ -196,7 +197,7 @@ class Machine:
                 del resident[next(iter(resident))]
                 evictions += 1
             resident[page] = None
-            home = (int(home_arr[page]) if 0 <= page < next_page
+            home = (home_arr[page] if 0 <= page < next_page
                     else UNPLACED)
             if home == UNPLACED:
                 raise HardwareError(
@@ -267,7 +268,7 @@ class Machine:
         span_bytes = self.memory._home[pages.start:pages.stop].tobytes()
         if span_bytes != span_bytes[:2] * n:
             return None
-        home0 = int(self.memory._home[pages.start])
+        home0 = self.memory._home[pages.start]
         if home0 == UNPLACED:
             return None
         resident = cache._resident
@@ -378,7 +379,7 @@ class Machine:
             span_bytes = home_mem[run.start:run.stop].tobytes()
             if span_bytes != span_bytes[:2] * n:
                 return None
-            home = int(home_mem[run.start])
+            home = home_mem[run.start]
             if home == UNPLACED:
                 return None
             overflow = size + n - capacity
@@ -403,7 +404,7 @@ class Machine:
         imc_pages: dict[int, int] = {}
         for run in segments:
             n = run.stop - run.start
-            home = int(home_mem[run.start])
+            home = home_mem[run.start]
             overflow = len(resident) + n - capacity
             if overflow > 0:
                 cache._resident = resident = dict.fromkeys(

@@ -6,12 +6,15 @@ Pages are identified by dense global integers handed out by
 (:mod:`repro.opsys.vm` decides *where*, this module records it and tracks
 bank occupancy).
 
-The home map is a dense numpy array indexed by page id (pages are dense
-by construction), with :data:`UNPLACED` as the sentinel.  Batch
+The home map is a dense ``array('h')`` indexed by page id (pages are
+dense by construction), with :data:`UNPLACED` as the sentinel.  Batch
 operations on contiguous page ranges — the common case, since
-allocations are ranges — run as array slices instead of per-page dict
-probes, and a snapshot pickles one buffer instead of one dict entry per
-page.
+allocations are ranges — run as slice stores and one-``bytes``
+uniformity probes, while per-page reads stay plain C-speed integer
+indexing (a numpy home map would make every scalar probe in the touch
+hot loops allocate a numpy scalar, several times the cost of the
+lookup itself), and a snapshot pickles one buffer instead of one dict
+entry per page.
 
 The per-node byte counters written during accesses (``imc_bytes``) live in
 the shared :class:`~repro.hardware.counters.CounterBank`, wired in by
@@ -20,9 +23,8 @@ the shared :class:`~repro.hardware.counters.CounterBank`, wired in by
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Sequence
-
-import numpy as np
 
 from ..errors import HardwareError
 from .topology import Topology
@@ -31,6 +33,15 @@ UNPLACED = -1
 
 #: initial home-map capacity in pages; grown by doubling on allocate
 _INITIAL_CAPACITY = 1024
+
+#: one :data:`UNPLACED` cell in the home map's native byte order; what
+#: an unplaced run looks like through ``tobytes()``
+UNPLACED_PATTERN = array("h", [UNPLACED]).tobytes()
+
+
+def home_run(node: int, n: int) -> array:
+    """An ``array('h')`` of ``n`` cells all set to ``node`` (slice fill)."""
+    return array("h", [node]) * n
 
 
 class MemorySystem:
@@ -43,7 +54,7 @@ class MemorySystem:
         self._next_page = 0
         #: home node per page id, :data:`UNPLACED` until first touch;
         #: sized to capacity, valid through ``_next_page``
-        self._home = np.full(_INITIAL_CAPACITY, UNPLACED, dtype=np.int16)
+        self._home = home_run(UNPLACED, _INITIAL_CAPACITY)
         self._pages_per_node = [0] * topology.n_sockets
 
     def allocate(self, n_pages: int) -> range:
@@ -56,9 +67,8 @@ class MemorySystem:
             capacity = len(self._home)
             while capacity < self._next_page:
                 capacity *= 2
-            grown = np.full(capacity, UNPLACED, dtype=np.int16)
-            grown[:len(self._home)] = self._home
-            self._home = grown
+            self._home.extend(
+                home_run(UNPLACED, capacity - len(self._home)))
         return range(start, self._next_page)
 
     def allocate_bytes(self, n_bytes: int) -> range:
@@ -102,19 +112,15 @@ class MemorySystem:
         next_page = self._next_page
         if (type(pages) is range and pages.step == 1
                 and 0 <= pages.start and pages.stop <= next_page):
-            span = home[pages.start:pages.stop]
-            taken = span != UNPLACED
-            if taken.any():
-                # mirror the per-page loop: the prefix before the first
-                # double placement still lands, then the batch aborts
-                first = int(np.argmax(taken))
-                span[:first] = node
-                self._pages_per_node[node] += first
-                raise HardwareError(
-                    f"page {pages.start + first} already placed")
-            span[:] = node
-            self._pages_per_node[node] += len(pages)
-            return
+            n = pages.stop - pages.start
+            span_bytes = home[pages.start:pages.stop].tobytes()
+            if span_bytes == UNPLACED_PATTERN * n:
+                home[pages.start:pages.stop] = home_run(node, n)
+                self._pages_per_node[node] += n
+                return
+            # a page in the range is already placed: fall through to the
+            # per-page loop, which lands the prefix then aborts exactly
+            # as per-page placement would
         placed = 0
         try:
             for page in pages:
@@ -135,7 +141,7 @@ class MemorySystem:
         """Home node of ``page``, or :data:`UNPLACED` when not yet touched."""
         if not 0 <= page < self._next_page:
             return UNPLACED
-        return int(self._home[page])
+        return self._home[page]
 
     def is_placed(self, page: int) -> bool:
         """Whether ``page`` already has a home node."""
@@ -152,30 +158,23 @@ class MemorySystem:
                 # home) release with one comparison and one fill
                 span_bytes = self._home[pages.start:pages.stop].tobytes()
                 if span_bytes == span_bytes[:2] * n:
-                    node = int(self._home[pages.start])
+                    node = self._home[pages.start]
                     if node != UNPLACED:
                         self._pages_per_node[node] -= n
-                        self._home[pages.start:pages.stop] = UNPLACED
+                        self._home[pages.start:pages.stop] = home_run(
+                            UNPLACED, n)
                     return
-            span = self._home[pages.start:pages.stop]
-            placed = span[span != UNPLACED]
-            if placed.size:
-                counts = np.bincount(placed,
-                                     minlength=self.topology.n_sockets)
-                per_node = self._pages_per_node
-                for node in np.nonzero(counts)[0]:
-                    per_node[node] -= int(counts[node])
-                span[:] = UNPLACED
-            return
+            # mixed homes: the per-page loop below handles the range
         home = self._home
         next_page = self._next_page
+        per_node = self._pages_per_node
         for page in pages:
             if not 0 <= page < next_page:
                 continue
-            node = int(home[page])
+            node = home[page]
             if node != UNPLACED:
                 home[page] = UNPLACED
-                self._pages_per_node[node] -= 1
+                per_node[node] -= 1
 
     def pages_on_node(self, node: int) -> int:
         """Number of placed pages homed on ``node``."""
@@ -188,7 +187,7 @@ class MemorySystem:
     def placed_total(self) -> int:
         """Number of pages currently holding a home node."""
         span = self._home[:self._next_page]
-        return int((span != UNPLACED).sum())
+        return len(span) - sum(1 for node in span if node == UNPLACED)
 
     def pages_of(self, pages: Iterable[int]) -> dict[int, int]:
         """Histogram (node -> count) of where the given pages live.
@@ -199,23 +198,25 @@ class MemorySystem:
         """
         if (type(pages) is range and pages.step == 1
                 and 0 <= pages.start and pages.stop <= self._next_page):
+            n = pages.stop - pages.start
             span = self._home[pages.start:pages.stop]
-            placed = span[span != UNPLACED]
+            span_bytes = span.tobytes()
+            if span_bytes == span_bytes[:2] * n:
+                # uniform run (one allocation's pages share a home, or
+                # none placed yet): the histogram is one entry
+                return {span[0]: n} if n else {}
             histogram: dict[int, int] = {}
-            unplaced = len(span) - placed.size
-            if unplaced:
-                histogram[UNPLACED] = unplaced
-            if placed.size:
-                counts = np.bincount(placed,
-                                     minlength=self.topology.n_sockets)
-                for node in np.nonzero(counts)[0]:
-                    histogram[int(node)] = int(counts[node])
-            return histogram
+            hist_get = histogram.get
+            for node in span:
+                histogram[node] = hist_get(node, 0) + 1
+            # report unplaced first, then nodes ascending — the order
+            # the bincount-based implementation exposed
+            return {node: histogram[node] for node in sorted(histogram)}
         home = self._home
         next_page = self._next_page
         histogram = {}
         for page in pages:
-            node = (int(home[page]) if 0 <= page < next_page
+            node = (home[page] if 0 <= page < next_page
                     else UNPLACED)
             histogram[node] = histogram.get(node, 0) + 1
         return histogram

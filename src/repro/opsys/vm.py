@@ -29,13 +29,10 @@ from collections.abc import Sequence
 
 from ..errors import HardwareError
 from ..hardware.machine import Machine
-from ..hardware.memory import UNPLACED
+from ..hardware.memory import (UNPLACED, UNPLACED_PATTERN as
+                               _UNPLACED_PATTERN, home_run)
 from ..pages import PageSegments, VECTOR_MIN_PAGES
 from .thread import SimThread
-
-#: two little-endian ``int16`` bytes of :data:`UNPLACED` (-1); what an
-#: unplaced run of the home map looks like through ``tobytes()``
-_UNPLACED_PATTERN = (UNPLACED).to_bytes(2, "little", signed=True)
 
 
 class VirtualMemory:
@@ -152,21 +149,28 @@ class VirtualMemory:
                         > memory.bank_pages):
                     raise HardwareError(
                         f"memory bank of node {node} is full")
-                home_arr[start:stop] = node
+                home_arr[start:stop] = home_run(node, n)
                 memory._pages_per_node[node] += n
             mapped[start:stop] = segment.translate(set_tbl)
             if thread is not None:
-                home0 = int(home_arr[start])
-                thread.note_pages(home0, n)
+                thread.note_pages(home_arr[start], n)
             return faults
         if thread is not None and span_bytes[:2] != _UNPLACED_PATTERN:
             # warm uniform batch: the residency histogram is one entry
-            thread.note_pages(int(home_arr[start]), n)
+            thread.note_pages(home_arr[start], n)
         return faults
 
     def _touch_each(self, pages: Sequence[int], node: int,
                     thread: SimThread | None, memory) -> int:
-        """Per-page path for arbitrary page sequences."""
+        """Per-page path for arbitrary page sequences.
+
+        One pass: fault detection and the residency histogram share the
+        loop.  A page queued for first-touch placement is counted under
+        ``node`` directly — that is the home :meth:`place_batch` assigns
+        it right after the loop — and a mapped page always has a home
+        (placement happens on the very first touch), so reading homes
+        mid-batch equals reading them after the batch commits.
+        """
         top = max(pages, default=-1) + 1
         mapped = self._mapped_span(max(top, memory._next_page))
         n_mapped = len(mapped)
@@ -175,30 +179,42 @@ class VirtualMemory:
         mask = 1 << node
         faults = 0
         to_place: list[int] = []
+        histogram: dict[int, int] = {}
+        hist_get = histogram.get
+        count_pages = thread is not None
         for page in pages:
-            in_range = 0 <= page < n_mapped
-            seen = mapped[page] if in_range else 0
-            if seen & mask:
-                continue
-            if in_range:
-                mapped[page] = seen | mask
-            faults += 1
-            if not 0 <= page < next_page or home_arr[page] == UNPLACED:
-                to_place.append(page)
+            if 0 <= page < next_page:
+                # allocated page: ``mapped`` covers it (grown above), so
+                # the bitmask index needs no second bounds check
+                seen = mapped[page]
+                if not seen & mask:
+                    mapped[page] = seen | mask
+                    faults += 1
+                    if home_arr[page] == UNPLACED:
+                        to_place.append(page)
+                if count_pages:
+                    home = home_arr[page]
+                    if home == UNPLACED:
+                        # queued above (or by an earlier occurrence in
+                        # this batch): lands on ``node`` at the flush
+                        home = node
+                    histogram[home] = hist_get(home, 0) + 1
+            else:
+                # never-allocated id: still raises a fault and queues,
+                # so place_batch rejects it exactly as place() would
+                in_range = 0 <= page < n_mapped
+                seen = mapped[page] if in_range else 0
+                if not seen & mask:
+                    if in_range:
+                        mapped[page] = seen | mask
+                    faults += 1
+                    to_place.append(page)
         if to_place:
             # first-touch placements flush in one batch (only first
             # occurrences queue, so the batch is duplicate-free)
             memory.place_batch(to_place, node)
-        if thread is not None:
-            histogram: dict[int, int] = {}
-            hist_get = histogram.get
-            for page in pages:
-                home = (int(home_arr[page]) if 0 <= page < next_page
-                        else UNPLACED)
-                if home >= 0:
-                    histogram[home] = hist_get(home, 0) + 1
-            for home, count in histogram.items():
-                thread.note_pages(home, count)
+        for home, count in histogram.items():
+            thread.note_pages(home, count)
         return faults
 
     def _autonuma(self, pages: Sequence[int], node: int) -> None:

@@ -61,6 +61,11 @@ SCHEMA = 2
 #: spec string the result cache keys bench entries under
 _BENCH_FN = "repro.runner.bench:_bench_one"
 
+#: serial suite entries are timed best-of-N, like :func:`_calibrate`;
+#: the shortest suite member is ~50 ms, where single-shot wall time on
+#: a busy host swings further than the regression gate's tolerance
+TIMING_REPEATS = 3
+
 
 def _calibrate(iterations: int = 2_000_000, repeats: int = 3) -> float:
     """Time a fixed arithmetic loop; the unit of normalised scores.
@@ -95,21 +100,38 @@ def _git_rev() -> str:
     return rev if out.returncode == 0 and rev else "local"
 
 
-def _bench_one(name: str, fn: str,
-               kwargs: dict) -> tuple[str, float, int]:
+def _bench_one(name: str, fn: str, kwargs: dict,
+               repeats: int = 1) -> tuple[str, float, int]:
     """Worker entry point: run and time one suite experiment.
 
     Returns ``(name, wall seconds, events delivered)`` — the event count
     comes from the engine's process-wide delivery counter, so it is
     exact whether the experiment ran serially or in this worker.
+
+    With ``repeats`` > 1 the experiment runs that many times and the
+    *minimum* wall time is kept — the same robust estimator
+    :func:`_calibrate` uses (noise only ever makes a run slower).  The
+    serial suite times with :data:`TIMING_REPEATS` so short entries
+    (fig7 is ~50 ms) don't swing past the regression tolerance on a
+    noisy host; the parallel pass times single runs, since it measures
+    fan-out wall clock, not per-experiment throughput.  The delivered
+    count is per run (every repetition delivers the same events — the
+    simulation is deterministic), so rates stay comparable with
+    single-run snapshots.
     """
     from ..sim.engine import delivered_total
     runner = resolve(fn)
-    before = delivered_total()
-    start = time.perf_counter()
-    runner(**kwargs)
-    elapsed = time.perf_counter() - start
-    return name, elapsed, delivered_total() - before
+    best = float("inf")
+    events = 0
+    for _ in range(max(repeats, 1)):
+        before = delivered_total()
+        start = time.perf_counter()
+        runner(**kwargs)
+        elapsed = time.perf_counter() - start
+        events = delivered_total() - before
+        if elapsed < best:
+            best = elapsed
+    return name, best, events
 
 
 @dataclass
@@ -314,7 +336,8 @@ def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
         # as a spurious regression on whichever suite member goes first
         _bench_one("warmup", *BENCH_SUITE["fig7"])
         for name, fn, kwargs, key in misses:
-            _, seconds, events = _bench_one(name, fn, kwargs)
+            _, seconds, events = _bench_one(name, fn, kwargs,
+                                            repeats=TIMING_REPEATS)
             results[name] = (seconds, events)
             if store is not None and key is not None:
                 store.store(key, (name, seconds, events))
