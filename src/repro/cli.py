@@ -352,6 +352,7 @@ def _run_experiment(args: argparse.Namespace) -> str:
             kwargs["parallel"] = parallel
 
     from .runner import cache as cache_mod
+    from .runner import pool as pool_mod
 
     use_cache = not getattr(args, "no_cache", False)
     if profile:
@@ -363,11 +364,20 @@ def _run_experiment(args: argparse.Namespace) -> str:
         # nothing — a telemetry run must simulate every cell
         use_cache = False
     cache_mod.configure(cache_mod.ResultCache() if use_cache else None)
+    fanned_out = kwargs.get("parallel", 1) > 1
+    if fanned_out:
+        # longest-expected-first dispatch from the latest bench
+        # snapshot's per-task timings (empty when none recorded)
+        from .runner import bench as bench_mod
+        pool_mod.configure_cost_hints(bench_mod.load_cost_hints())
     try:
         if profile:
             return note + _profile_run(args.experiment, runner, kwargs)
         if telemetry is None:
-            return note + runner(**kwargs).table()
+            output = note + runner(**kwargs).table()
+            if fanned_out:
+                output += _pool_summary(pool_mod.last_pool_stats())
+            return output
         from .obs import Recorder, export_run, install, uninstall
 
         recorder = Recorder()
@@ -382,6 +392,20 @@ def _run_experiment(args: argparse.Namespace) -> str:
                 f"{exported}")
     finally:
         cache_mod.configure(None)
+        pool_mod.configure_cost_hints(None)
+
+
+def _pool_summary(stats) -> str:
+    """One-line pool telemetry after a ``--parallel`` run."""
+    if stats is None or not stats.workers:
+        return ""
+    line = (f"\npool (last fan-out): {stats.workers} worker(s), "
+            f"utilisation {stats.mean_utilisation():.0%}, "
+            f"{stats.ipc_bytes_shipped:,} B shipped over IPC, "
+            f"{stats.shm_bytes:,} B shared once via shm")
+    if stats.respawns:
+        line += f", {stats.respawns} respawn(s)"
+    return line
 
 
 def _profile_run(name: str, runner: Callable, kwargs: dict) -> str:

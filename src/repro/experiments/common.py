@@ -273,8 +273,21 @@ def capture_system(sut: SystemUnderTest) -> SimState:
 
 
 def fork_system(base: SimState) -> SystemUnderTest:
-    """Materialise one independent system from a captured warm prefix."""
-    return base.restore()
+    """Materialise one independent system from a captured warm prefix.
+
+    Restoring also seeds this process's dataset cache with the
+    capture's dataset — in a pool worker that dataset is backed by the
+    run's shared-memory segments, so any later cold :func:`build_system`
+    in the same worker reuses it instead of regenerating megabytes of
+    columns.  Datasets are immutable by contract (the forked arrays are
+    read-only views), so seeding can never change results.
+    """
+    sut = base.restore()
+    dataset = getattr(sut, "dataset", None)
+    if isinstance(dataset, TpchDataset):
+        _DATASETS.setdefault(
+            (dataset.scale, dataset.sim_scale, dataset.seed), dataset)
+    return sut
 
 
 def warm_system(engine: str = "monetdb", *,

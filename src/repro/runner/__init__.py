@@ -4,24 +4,40 @@ Every figure harness is a sweep of independent *cells* — each cell builds
 its own machine, OS and engine from scratch (:func:`build_system` resets
 thread ids per cell), runs one configuration and returns a plain result
 record.  Cells therefore parallelise embarrassingly: :mod:`.pool` fans
-them across spawn-safe worker processes and merges results in submission
-order, so a parallel run is bit-identical to the serial one.
+them across persistent spawn-safe worker processes and merges results in
+submission order, so a parallel run is bit-identical to the serial one.
+:mod:`.shm` publishes each run's immutable bulk atoms (TPC-H columns,
+warm-start snapshot payloads) into shared-memory segments exactly once,
+so a forked cell ships kilobytes of digest references per task instead
+of re-pickling the dataset.
 
 :mod:`.bench` wall-times the experiment suite (``repro bench``), writes a
 ``BENCH_<rev>.json`` snapshot under ``benchmarks/results/`` and compares
 against the last committed baseline — the CI regression gate for the
-simulation kernel's fast path.
+simulation kernel's fast path.  Parallel bench passes record pool
+telemetry (shipped bytes, worker utilisation, per-task seconds) that
+feeds the next run's longest-expected-first dispatch.
 """
 
 from .bench import (BENCH_SUITE, QUICK_SUITE, BenchReport, SweepSnapshot,
-                    load_baseline, run_bench)
+                    load_baseline, load_cost_hints, run_bench)
 from .cache import ResultCache, configure, current, tree_fingerprint
-from .pool import Task, resolve, run_tasks
+from .pool import (PoolStats, Task, TaskError, configure_cost_hints,
+                   last_pool_stats, resolve, run_tasks, task_cost_key)
+from .shm import AtomClient, SharedAtomStore, ShippedAtoms
 
 __all__ = [
     "Task",
+    "TaskError",
     "resolve",
     "run_tasks",
+    "PoolStats",
+    "last_pool_stats",
+    "configure_cost_hints",
+    "task_cost_key",
+    "SharedAtomStore",
+    "AtomClient",
+    "ShippedAtoms",
     "ResultCache",
     "configure",
     "current",
@@ -31,5 +47,6 @@ __all__ = [
     "BenchReport",
     "SweepSnapshot",
     "load_baseline",
+    "load_cost_hints",
     "run_bench",
 ]

@@ -27,7 +27,7 @@ from pathlib import Path
 
 from ..analysis.report import render_table
 from ..errors import ReproError
-from .pool import Task, resolve, run_tasks
+from .pool import PoolStats, Task, resolve, run_tasks, task_cost_key
 
 #: the benchmark parameterisations.  Small enough for CI, large enough to
 #: exercise the scheduler, the controller and the memory system; pinned
@@ -154,6 +154,11 @@ class SweepSnapshot:
     #: cores visible to this interpreter; a parallel speedup below 1.0
     #: on a single-core host is expected, not a defect
     cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+    #: pool telemetry from the parallel pass
+    #: (:meth:`~repro.runner.pool.PoolStats.as_dict`: shipped IPC bytes,
+    #: per-worker utilisation, per-task seconds); absent in snapshots
+    #: recorded before it existed and in serial-only runs
+    pool: dict | None = None
 
     @property
     def serial_total_seconds(self) -> float:
@@ -184,6 +189,7 @@ class SweepSnapshot:
             "parallel_wall_seconds": self.parallel_wall_seconds,
             "speedup": self.speedup,
             "cpu_count": self.cpu_count,
+            "pool": self.pool,
         }
 
     def _events_per_second(self, name: str) -> str:
@@ -223,6 +229,13 @@ class SweepSnapshot:
                          self.parallel_wall_seconds, "",
                          f"speedup {self.speedup:.2f}x on "
                          f"{self.cpu_count} core(s)"])
+        if self.pool:
+            shipped = int(self.pool.get("ipc_bytes_shipped", 0) or 0)
+            shm = int(self.pool.get("shm_bytes", 0) or 0)
+            util = float(self.pool.get("mean_utilisation", 0.0) or 0.0)
+            rows.append(["(pool)", "", "",
+                         f"util {util:.0%}, {shipped:,} B IPC, "
+                         f"{shm:,} B shm"])
         return render_table(
             ["experiment", "wall s", "events/s", "score (calibrated)"],
             rows,
@@ -403,10 +416,17 @@ def run_bench(names: tuple[str, ...] | None = None, quick: bool = False,
                       dict(name=name, fn=BENCH_SUITE[name][0],
                            kwargs=BENCH_SUITE[name][1]))
                  for name in names]
+        # straggler-aware dispatch: this run's own serial wall times
+        # are the best available cost estimates for its parallel pass
+        hints = {task_cost_key(task.fn, task.kwargs): results[name][0]
+                 for name, task in zip(names, tasks)}
+        pool_stats = PoolStats()
         start = time.perf_counter()
-        run_tasks(tasks, parallel=parallel, cache=False)
+        run_tasks(tasks, parallel=parallel, cache=False,
+                  cost_hints=hints, stats=pool_stats)
         report.parallel = parallel
         report.parallel_wall_seconds = time.perf_counter() - start
+        report.pool = pool_stats.as_dict()
     return report
 
 
@@ -433,6 +453,8 @@ def _report_from_dict(data: dict) -> SweepSnapshot:
         parallel=int(data.get("parallel", 0) or 0),
         parallel_wall_seconds=data.get("parallel_wall_seconds"),
         cpu_count=int(data.get("cpu_count", 0) or 1),
+        # absent in pre-pool snapshots; compare() never reads it
+        pool=data.get("pool") or None,
     )
     report.cached = [str(name) for name in data.get("cached", [])]
     for name, entry in data.get("experiments", {}).items():
@@ -443,6 +465,27 @@ def _report_from_dict(data: dict) -> SweepSnapshot:
         if events:
             report.events[name] = events
     return report
+
+
+def load_cost_hints(results_dir: Path | str = RESULTS_DIR
+                    ) -> dict[str, float]:
+    """Per-task timings from the latest snapshot's pool telemetry.
+
+    Feeds :func:`~repro.runner.pool.configure_cost_hints` so a later
+    parallel run dispatches longest-expected-first from the start;
+    missing or pre-pool snapshots yield an empty mapping (unknown tasks
+    simply dispatch in submission order).
+    """
+    baseline = load_baseline(results_dir)
+    if baseline is None or not baseline.pool:
+        return {}
+    hints: dict[str, float] = {}
+    for key, value in (baseline.pool.get("task_seconds") or {}).items():
+        try:
+            hints[str(key)] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return hints
 
 
 def load_baseline(results_dir: Path | str = RESULTS_DIR,

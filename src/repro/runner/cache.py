@@ -38,6 +38,7 @@ from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
+from ..atoms import atom_hexdigest
 from ..errors import ReproError
 
 ENV_ENABLED = "REPRO_CACHE"
@@ -109,10 +110,8 @@ def canonical(value: Any) -> Any:
     if callable(fingerprint):  # SimState captures and friends
         return {"fingerprint": fingerprint()}
     tobytes = getattr(value, "tobytes", None)
-    if callable(tobytes):  # numpy arrays
-        meta = f"{getattr(value, 'dtype', '')}:{getattr(value, 'shape', '')}"
-        return {"array": hashlib.sha256(
-            meta.encode() + tobytes()).hexdigest()}
+    if callable(tobytes):  # numpy arrays (same scheme, memoised)
+        return {"array": atom_hexdigest(value)}
     try:
         payload = pickle.dumps(value, protocol=_PROTOCOL)
     except (pickle.PicklingError, AttributeError, TypeError) as exc:

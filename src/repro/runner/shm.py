@@ -1,0 +1,412 @@
+"""Zero-copy publication of immutable atoms over shared memory.
+
+The parallel runner used to re-pickle every task's full kwargs into each
+worker — including, for warm-start sweeps, the multi-megabyte TPC-H
+column arrays a :class:`~repro.sim.state.SimState` capture shares across
+all of its forks.  This module ships that bulk data across the process
+boundary **once per run** instead of once per task:
+
+* :class:`SharedAtomStore` (parent side) writes each distinct atom into
+  a ``multiprocessing.shared_memory`` segment, content-addressed by
+  :func:`repro.atoms.atom_digest` so equal atoms are published once no
+  matter how many tasks reference them.  Numpy arrays are copied into
+  segments raw; other atoms (the dataset object, large snapshot
+  payloads) are pickled with already-published atoms externalised by
+  digest.  Atoms below :data:`MIN_SEGMENT_BYTES` travel inline in the
+  handle — a page-granular segment would cost more than it saves.
+* :class:`ShippedAtoms` is the small picklable handle a worker needs to
+  attach everything; it crosses the boundary once, at worker start.
+* :class:`AtomClient` (worker side) reconstructs the atoms: array
+  segments become **read-only zero-copy views** (``np.memmap`` over the
+  segment's ``/dev/shm`` file where available, a tracker-safe
+  ``SharedMemory`` attach elsewhere); pickled atoms resolve their digest
+  references against the views.
+* :func:`dumps_with_atoms` / :func:`loads_with_atoms` are the transport
+  picklers: tasks and results serialise with every published atom
+  replaced by its digest, so a forked warm-start cell ships kilobytes.
+
+The parent creates segments, the parent unlinks them
+(:meth:`SharedAtomStore.close`, exception paths included via the
+context-manager protocol); workers only ever attach.  Attaching through
+``SharedMemory`` also registers the segment with this interpreter's
+``resource_tracker`` (there is no opt-out on the supported Pythons), so
+the client immediately unregisters — otherwise every worker's tracker
+would try to unlink the parent's segments at exit and warn about leaks
+that are not.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import pickle
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..atoms import atom_hexdigest
+from ..errors import ReproError
+from ..sim.state import SimState
+
+#: atoms smaller than this ship inline in the handle: a shared-memory
+#: segment is page-granular and costs an attach per worker
+MIN_SEGMENT_BYTES = 4096
+
+#: kwargs nesting depth scanned for shareable atoms
+_SCAN_DEPTH = 3
+
+#: process-wide segment sequence — segment names must be unique per
+#: store *and* across concurrent runs (names are global to the host)
+_SEGMENT_SEQ = itertools.count()
+
+#: where the POSIX implementation backs segments; mapping the file
+#: directly keeps workers out of the resource tracker entirely
+_SHM_DIR = Path("/dev/shm")
+
+
+@dataclass(frozen=True)
+class _AtomEntry:
+    """One published atom: where it lives and how to rebuild it."""
+
+    #: ``"array"`` (raw ndarray buffer), ``"bytes"`` or ``"pickle"``
+    kind: str
+    #: hex content digest — the persistent-id namespace
+    digest: str
+    #: shared-memory segment name, or ``None`` when ``data`` is inline
+    segment: str | None
+    #: inline payload for sub-:data:`MIN_SEGMENT_BYTES` atoms
+    data: bytes | None
+    dtype: str | None
+    shape: tuple[int, ...] | None
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ShippedAtoms:
+    """The picklable handle workers attach the whole store from.
+
+    Entries are ordered so that every ``pickle`` entry only references
+    digests of entries before it (arrays and bytes publish first).
+    """
+
+    entries: tuple[_AtomEntry, ...] = ()
+
+
+class _AtomPickler(pickle.Pickler):
+    """Pickler externalising published atoms by identity -> digest."""
+
+    def __init__(self, file: io.BytesIO, index: Mapping[int, str]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._index = index
+
+    def persistent_id(self, obj: Any) -> str | None:
+        return self._index.get(id(obj))
+
+
+class _AtomUnpickler(pickle.Unpickler):
+    """Unpickler resolving digest references back to atoms."""
+
+    def __init__(self, file: io.BytesIO,
+                 lookup: Callable[[str], Any]):
+        super().__init__(file)
+        self._lookup = lookup
+
+    def persistent_load(self, pid: Any) -> Any:
+        return self._lookup(pid)
+
+
+def dumps_with_atoms(value: Any, index: Mapping[int, str]) -> bytes:
+    """Pickle ``value`` with every indexed atom replaced by its digest."""
+    buffer = io.BytesIO()
+    _AtomPickler(buffer, index).dump(value)
+    return buffer.getvalue()
+
+
+def loads_with_atoms(data: bytes, lookup: Callable[[str], Any]) -> Any:
+    """Unpickle :func:`dumps_with_atoms` output against an atom source."""
+    return _AtomUnpickler(io.BytesIO(data), lookup).load()
+
+
+def _is_shareable_array(atom: Any) -> bool:
+    """Raw-buffer publishable: a real ndarray without object fields."""
+    return (isinstance(atom, np.ndarray)
+            and not atom.dtype.hasobject)
+
+
+def collect_shareable_atoms(value: Any,
+                            _depth: int = 0) -> list[Any]:
+    """Bulk immutable atoms reachable from one task's kwargs.
+
+    :class:`~repro.sim.state.SimState` captures contribute their shared
+    atom tuple *and* their payload bytes (the pickled graph is itself
+    identical across a sweep's cells, so it too ships once); bare numpy
+    arrays in the kwargs tree count as well.  Containers are scanned a
+    few levels deep — task kwargs are shallow by construction.
+    """
+    if isinstance(value, SimState):
+        atoms = list(value.shared)
+        atoms.append(value.payload)
+        return atoms
+    if isinstance(value, np.ndarray):
+        return [value]
+    if _depth >= _SCAN_DEPTH:
+        return []
+    found: list[Any] = []
+    if isinstance(value, Mapping):
+        for item in value.values():
+            found.extend(collect_shareable_atoms(item, _depth + 1))
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            found.extend(collect_shareable_atoms(item, _depth + 1))
+    return found
+
+
+class SharedAtomStore:
+    """Parent-side store: publish atoms once, unlink them at the end."""
+
+    def __init__(self) -> None:
+        self._entries: list[_AtomEntry] = []
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._atoms: dict[str, Any] = {}
+        self._index: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # publishing
+
+    def publish(self, atoms: Iterable[Any]) -> None:
+        """Publish every distinct atom (deduplicated by content digest).
+
+        Arrays and byte strings publish first; everything else pickles
+        afterwards with the already-published atoms externalised, so a
+        dataset object that owns the column arrays serialises to a
+        skeleton of digest references instead of a second copy of the
+        data.
+        """
+        deferred: list[tuple[Any, str]] = []
+        for atom in atoms:
+            digest = atom_hexdigest(atom)
+            if digest in self._atoms:
+                self._index.setdefault(id(atom), digest)
+                continue
+            if _is_shareable_array(atom):
+                self._publish_array(atom, digest)
+            elif isinstance(atom, (bytes, bytearray)):
+                self._publish_blob("bytes", bytes(atom), digest,
+                                   atom=atom)
+            else:
+                deferred.append((atom, digest))
+        for atom, digest in deferred:
+            if digest in self._atoms:  # duplicate within this batch
+                self._index.setdefault(id(atom), digest)
+                continue
+            buffer = io.BytesIO()
+            _AtomPickler(buffer, self._index).dump(atom)
+            self._publish_blob("pickle", buffer.getvalue(), digest,
+                               atom=atom)
+
+    def _register(self, entry: _AtomEntry, atom: Any) -> None:
+        self._entries.append(entry)
+        self._atoms[entry.digest] = atom
+        self._index[id(atom)] = entry.digest
+
+    def _publish_array(self, arr: np.ndarray, digest: str) -> None:
+        if arr.nbytes < MIN_SEGMENT_BYTES:
+            self._register(_AtomEntry(
+                kind="array", digest=digest, segment=None,
+                data=arr.tobytes(), dtype=arr.dtype.str,
+                shape=tuple(arr.shape), nbytes=arr.nbytes), arr)
+            return
+        segment = self._create_segment(arr.nbytes, digest)
+        view = np.ndarray(arr.shape, dtype=arr.dtype,
+                          buffer=segment.buf)
+        try:
+            view[...] = arr
+        finally:
+            del view  # release the exported buffer before close()
+        segment.close()
+        self._register(_AtomEntry(
+            kind="array", digest=digest, segment=segment.name,
+            data=None, dtype=arr.dtype.str, shape=tuple(arr.shape),
+            nbytes=arr.nbytes), arr)
+
+    def _publish_blob(self, kind: str, data: bytes, digest: str,
+                      atom: Any) -> None:
+        if len(data) < MIN_SEGMENT_BYTES:
+            self._register(_AtomEntry(
+                kind=kind, digest=digest, segment=None, data=data,
+                dtype=None, shape=None, nbytes=len(data)), atom)
+            return
+        segment = self._create_segment(len(data), digest)
+        segment.buf[:len(data)] = data
+        segment.close()
+        self._register(_AtomEntry(
+            kind=kind, digest=digest, segment=segment.name, data=None,
+            dtype=None, shape=None, nbytes=len(data)), atom)
+
+    def _create_segment(self, size: int,
+                        digest: str) -> shared_memory.SharedMemory:
+        # short names: macOS caps POSIX shm names at 31 characters
+        name = f"repro_{os.getpid():x}_{next(_SEGMENT_SEQ)}_{digest[:8]}"
+        segment = shared_memory.SharedMemory(name=name, create=True,
+                                             size=size)
+        self._segments.append(segment)
+        return segment
+
+    # ------------------------------------------------------------------
+    # parent-side access
+
+    @property
+    def index(self) -> Mapping[int, str]:
+        """id(atom) -> digest, for :func:`dumps_with_atoms`."""
+        return self._index
+
+    def get(self, digest: str) -> Any:
+        """The parent-side atom behind a digest reference."""
+        try:
+            return self._atoms[digest]
+        except KeyError:
+            raise ReproError(
+                f"result references unpublished atom {digest[:12]}…") \
+                from None
+
+    def handle(self) -> ShippedAtoms:
+        """The picklable attach handle for workers."""
+        return ShippedAtoms(entries=tuple(self._entries))
+
+    @property
+    def segment_bytes(self) -> int:
+        """Bytes published into shared-memory segments."""
+        return sum(entry.nbytes for entry in self._entries
+                   if entry.segment is not None)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent, exception-safe)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+            try:
+                _track(segment)  # balance a client unregister, if any
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self._entries.clear()
+        self._atoms.clear()
+        self._index.clear()
+
+    def __enter__(self) -> "SharedAtomStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _track(segment: shared_memory.SharedMemory) -> None:
+    """Re-register with the resource tracker before unlinking."""
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Undo the attach-time resource-tracker registration."""
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+class AtomClient:
+    """Worker-side attach: rebuild every shipped atom, never unlink.
+
+    Array segments become read-only zero-copy views; attached segments
+    are intentionally **never closed** here — numpy views export their
+    buffers for the worker's whole life, and the parent owns unlinking.
+    """
+
+    def __init__(self, handle: ShippedAtoms):
+        self._atoms: dict[str, Any] = {}
+        self._index: dict[int, str] = {}
+        self._segments: list[shared_memory.SharedMemory] = []
+        # arrays and bytes first: pickle entries reference them
+        for entry in handle.entries:
+            if entry.kind != "pickle":
+                self._materialise(entry)
+        for entry in handle.entries:
+            if entry.kind == "pickle":
+                self._materialise(entry)
+
+    def _materialise(self, entry: _AtomEntry) -> None:
+        if entry.kind == "array":
+            value: Any = self._attach_array(entry)
+        elif entry.kind == "bytes":
+            value = self._blob(entry)
+        elif entry.kind == "pickle":
+            value = loads_with_atoms(self._blob(entry), self.get)
+        else:
+            raise ReproError(f"unknown atom entry kind {entry.kind!r}")
+        self._atoms[entry.digest] = value
+        self._index[id(value)] = entry.digest
+
+    def _attach_array(self, entry: _AtomEntry) -> np.ndarray:
+        dtype = np.dtype(entry.dtype)
+        if entry.segment is None:
+            flat = np.frombuffer(entry.data or b"", dtype=dtype)
+        else:
+            path = _SHM_DIR / entry.segment
+            count = entry.nbytes // dtype.itemsize
+            if path.is_file():
+                flat = np.memmap(path, dtype=dtype, mode="r",
+                                 shape=(count,))
+            else:  # non-POSIX fallback: attach, then untrack
+                segment = shared_memory.SharedMemory(name=entry.segment)
+                self._segments.append(segment)
+                _untrack(segment)
+                flat = np.frombuffer(segment.buf, dtype=dtype,
+                                     count=count)
+        shape = entry.shape if entry.shape is not None else flat.shape
+        arr = flat.reshape(shape)
+        arr.flags.writeable = False
+        return arr
+
+    def _blob(self, entry: _AtomEntry) -> bytes:
+        if entry.segment is None:
+            return entry.data or b""
+        path = _SHM_DIR / entry.segment
+        if path.is_file():
+            return path.read_bytes()[:entry.nbytes]
+        segment = shared_memory.SharedMemory(name=entry.segment)
+        try:
+            return bytes(segment.buf[:entry.nbytes])
+        finally:
+            _untrack(segment)
+            segment.close()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> Mapping[int, str]:
+        """id(atom) -> digest, for externalising worker results."""
+        return self._index
+
+    def get(self, digest: str) -> Any:
+        """The attached atom behind a digest reference."""
+        try:
+            return self._atoms[digest]
+        except KeyError:
+            raise ReproError(
+                f"task references unpublished atom {digest[:12]}…") \
+                from None

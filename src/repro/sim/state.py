@@ -38,6 +38,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..atoms import atom_digest as _atom_digest
 from ..errors import SimulationError
 
 #: name -> (get, set) for process-global state that must survive a
@@ -164,13 +165,3 @@ class SimState:
     def size_bytes(self) -> int:
         """Payload size (diagnostics; excludes the shared atoms)."""
         return len(self.payload)
-
-
-def _atom_digest(atom: Any) -> bytes:
-    """A stable per-atom content digest for :meth:`SimState.fingerprint`."""
-    tobytes = getattr(atom, "tobytes", None)
-    if callable(tobytes):  # numpy arrays: raw buffer + dtype + shape
-        meta = f"{getattr(atom, 'dtype', '')}:{getattr(atom, 'shape', '')}"
-        return hashlib.sha256(meta.encode() + tobytes()).digest()
-    return hashlib.sha256(
-        pickle.dumps(atom, protocol=pickle.HIGHEST_PROTOCOL)).digest()

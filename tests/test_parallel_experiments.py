@@ -12,6 +12,7 @@ import pathlib
 
 from repro.experiments import fig13_scheduling, fig16_migration_modes
 from repro.experiments.trials import run_trials
+from repro.runner.pool import last_pool_stats
 from repro.sim.export import dump_records
 
 GOLDEN = (pathlib.Path(__file__).parent / "fixtures" / "golden"
@@ -38,6 +39,13 @@ def test_fig16_parallel_trace_is_bit_identical_to_golden(tmp_path):
     path = tmp_path / "trace.jsonl"
     dump_records(records, path)
     assert path.read_bytes() == GOLDEN.read_bytes()
+    # fig16's fan-out ships a warm capture: its bulk atoms must have
+    # crossed once via shared memory, not inside each task pickle
+    stats = last_pool_stats()
+    assert stats is not None and stats.shm_bytes > 0
+    assert stats.ipc_task_bytes < stats.shm_bytes
+    assert stats.tasks == len(result.cells)
+    assert 0.0 < stats.mean_utilisation() <= 1.0
 
 
 def _trial_runner(seed):

@@ -1,0 +1,195 @@
+"""Property suite for the queue-based persistent pool.
+
+Hypothesis drives :func:`repro.runner.pool._run_pool` through a
+thread-backed transport (same code path as the spawn pool — private
+task queues, shared result queue, reap/respawn — without paying a
+process spawn per example):
+
+* results always land in submission order, whatever the durations;
+* a worker crash (a ``SystemExit`` escaping the worker loop, exactly
+  like a hard process death) fails only the task it was running;
+* shared-memory segments are always unlinked on exit, including on
+  exception paths.
+
+``conftest.py`` verifies at session end that ``/dev/shm`` carries no
+``repro_`` segments, so every test here doubles as a leak check.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.runner.pool as pool_mod
+from repro.runner.pool import PoolStats, Task, _run_pool
+
+_SPEC = "tests.test_props_pool:_work"
+
+
+def _work(index: int, duration: float = 0.0, action: str = "ok"):
+    """Worker target: sleep, then succeed, raise, or die hard."""
+    if duration:
+        time.sleep(duration)
+    if action == "raise":
+        raise ValueError(f"boom {index}")
+    if action == "crash":
+        # SystemExit escapes the worker loop's `except Exception`,
+        # killing the worker mid-task — the thread analogue of a
+        # process segfault / os._exit
+        raise SystemExit(1)
+    return index
+
+
+class _ThreadProcess:
+    """`multiprocessing.Process`-shaped wrapper over a daemon thread."""
+
+    def __init__(self, target=None, args=(), daemon=True):
+        self._target = target
+        self._args = args
+        self.exitcode: int | None = None
+        self._thread = threading.Thread(target=self._run, daemon=daemon)
+
+    def _run(self) -> None:
+        try:
+            self._target(*self._args)
+        except BaseException:
+            self.exitcode = 1
+        else:
+            self.exitcode = 0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        self._thread.join(timeout)
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def terminate(self) -> None:  # pragma: no cover - teardown only
+        pass
+
+
+class _ThreadContext:
+    """Injectable pool transport backed by threads + queue.Queue."""
+
+    Process = _ThreadProcess
+
+    def Queue(self):
+        return queue.Queue()
+
+
+def _leaked_segments() -> list[str]:
+    try:
+        return [name for name in os.listdir("/dev/shm")
+                if name.startswith("repro_")]
+    except FileNotFoundError:
+        return []
+
+
+_actions = st.sampled_from(["ok", "ok", "ok", "raise", "crash"])
+_durations = st.floats(min_value=0.0, max_value=0.005)
+_plans = st.lists(st.tuples(_actions, _durations), min_size=1,
+                  max_size=10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(plan=_plans, workers=st.integers(min_value=1, max_value=4))
+def test_outcomes_land_in_submission_slots(plan, workers):
+    tasks = [Task(_SPEC, dict(index=i, duration=d, action=a))
+             for i, (a, d) in enumerate(plan)]
+    stats = PoolStats()
+    outcomes = _run_pool(tasks, min(workers, len(tasks)),
+                         _ThreadContext(), stats=stats,
+                         fail_fast=False)
+    assert len(outcomes) == len(tasks)
+    for i, (action, _) in enumerate(plan):
+        outcome = outcomes[i]
+        assert outcome is not None  # fail_fast off: every task runs
+        if action == "ok":
+            # the value came back in its submission slot
+            assert outcome.failure is None and outcome.value == i
+        else:
+            assert outcome.failure is not None
+    # every completed task is accounted once
+    ok_count = sum(1 for o in outcomes
+                   if o is not None and o.failure is None)
+    assert ok_count == sum(1 for a, _ in plan if a == "ok")
+    assert _leaked_segments() == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=_plans, workers=st.integers(min_value=1, max_value=4),
+       crash_at=st.integers(min_value=0, max_value=9))
+def test_one_crash_fails_only_its_task(plan, workers, crash_at):
+    plan = [("ok", d) for _, d in plan]
+    crash_at = crash_at % len(plan)
+    plan[crash_at] = ("crash", plan[crash_at][1])
+    tasks = [Task(_SPEC, dict(index=i, duration=d, action=a))
+             for i, (a, d) in enumerate(plan)]
+    stats = PoolStats()
+    outcomes = _run_pool(tasks, min(workers, len(tasks)),
+                         _ThreadContext(), stats=stats,
+                         fail_fast=False)
+    for i, outcome in enumerate(outcomes):
+        assert outcome is not None
+        if i == crash_at:
+            assert outcome.failure is not None
+            assert "died" in outcome.failure["message"]
+            assert outcome.failure["fn"] == _SPEC
+        else:
+            assert outcome.failure is None and outcome.value == i
+    if len(plan) > 1:
+        # the pool replaced the dead worker while work remained, or
+        # finished on the survivors; either way it never wedged
+        assert stats.tasks == len(plan) - 1
+    assert _leaked_segments() == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(fail_fast=st.booleans(),
+       workers=st.integers(min_value=1, max_value=3),
+       n_tasks=st.integers(min_value=1, max_value=6))
+def test_segments_unlink_even_when_tasks_fail(fail_fast, workers,
+                                              n_tasks):
+    # a big array forces real segments; the failing task exercises the
+    # abort/teardown path with segments live
+    arr = np.arange(40_000, dtype=np.float64)
+    tasks = [Task(_SPEC, dict(index=i, action="raise", payload=arr))
+             for i in range(n_tasks)]
+    _run_pool(tasks, min(workers, n_tasks), _ThreadContext(),
+              fail_fast=fail_fast)
+    assert _leaked_segments() == []
+
+
+def test_dispatch_respects_cost_hints_longest_first():
+    # deterministic unit for the straggler policy: with hints, the
+    # longest-expected task reaches a worker first even when submitted
+    # last — observable through a single-worker execution order
+    seen = []
+    original = pool_mod._dispatch_order
+    durations = [0.001, 0.002, 0.005]
+    tasks = [Task(_SPEC, dict(index=i, duration=d))
+             for i, d in enumerate(durations)]
+    keys = [pool_mod.task_cost_key(t.fn, t.kwargs) for t in tasks]
+    hints = {k: d for k, d in zip(keys, durations)}
+
+    def spy(keys_arg, hints_arg):
+        order = original(keys_arg, hints_arg)
+        seen.append(order)
+        return order
+
+    pool_mod._dispatch_order = spy
+    try:
+        outcomes = _run_pool(tasks, 1, _ThreadContext(),
+                             cost_hints=hints)
+    finally:
+        pool_mod._dispatch_order = original
+    assert seen == [[2, 1, 0]]  # longest expected first
+    assert [o.value for o in outcomes] == [0, 1, 2]  # merged by slot

@@ -14,8 +14,9 @@ import pytest
 from repro.errors import ReproError
 from repro.runner.bench import (BENCH_SUITE, QUICK_SUITE, BenchReport,
                                 _report_from_dict, load_baseline,
-                                run_bench, write_report)
-from repro.runner.pool import Task, resolve, run_tasks
+                                load_cost_hints, run_bench, write_report)
+from repro.runner.pool import (PoolStats, Task, TaskError, _dispatch_order,
+                               resolve, run_tasks, task_cost_key)
 
 
 # ---------------------------------------------------------------------
@@ -30,6 +31,76 @@ def test_run_tasks_serial_preserves_submission_order():
     tasks = [Task("tests.test_runner_pool:_double", dict(x=i))
              for i in range(5)]
     assert run_tasks(tasks, parallel=1) == [0, 2, 4, 6, 8]
+
+
+def _fail(x):
+    return x / 0
+
+
+def test_serial_failures_wrap_as_task_error_with_context():
+    tasks = [Task("tests.test_runner_pool:_fail", dict(x=3))]
+    with pytest.raises(TaskError) as excinfo:
+        run_tasks(tasks, parallel=1)
+    err = excinfo.value
+    assert err.fn == "tests.test_runner_pool:_fail"
+    assert "x" in err.kwargs and "3" in err.kwargs  # canonical string
+    assert "ZeroDivisionError" in str(err)
+    assert "kwargs" in str(err)
+
+
+def test_task_error_is_not_rewrapped():
+    # a TaskError raised inside a task (e.g. a nested run) passes
+    # through unchanged instead of nesting messages
+    original = TaskError("inner", fn="a:b", kwargs={"k": 1})
+
+    def raiser():
+        raise original
+
+    import tests.test_runner_pool as mod
+    mod._raiser = raiser
+    try:
+        with pytest.raises(TaskError) as excinfo:
+            run_tasks([Task("tests.test_runner_pool:_raiser", {})],
+                      parallel=1)
+    finally:
+        del mod._raiser
+    assert excinfo.value is original
+
+
+def test_task_cost_key_is_stable_and_kwarg_sensitive():
+    key = task_cost_key("m:f", dict(b=2, a=1))
+    assert key == task_cost_key("m:f", dict(a=1, b=2))  # order-free
+    assert key != task_cost_key("m:f", dict(a=1, b=3))
+    assert key != task_cost_key("m:g", dict(a=1, b=2))
+    assert len(key) == 16 and int(key, 16) >= 0  # short hex token
+
+
+def test_dispatch_order_ranks_unknown_then_longest():
+    keys = ["a", "b", "c", "d"]
+    hints = {"a": 0.5, "c": 2.0}  # b and d unknown
+    # unknown tasks first (in submission order), then longest-first
+    assert _dispatch_order(keys, hints) == [1, 3, 2, 0]
+    # no hints: pure submission order
+    assert _dispatch_order(keys, {}) == [0, 1, 2, 3]
+    # equal hints tie-break by submission index
+    assert _dispatch_order(["a", "b"], {"a": 1.0, "b": 1.0}) == [0, 1]
+
+
+def test_pool_stats_utilisation_and_dict_shape():
+    stats = PoolStats(workers=2, wall_seconds=2.0, tasks=4,
+                      ipc_task_bytes=100, ipc_result_bytes=50,
+                      shm_bytes=4096)
+    stats.busy_seconds = {0: 1.0, 1: 2.5}  # 2.5 > wall: clamped
+    stats.worker_tasks = {0: 1, 1: 3}
+    util = stats.worker_utilisation()
+    assert util == {"0": pytest.approx(0.5), "1": pytest.approx(1.0)}
+    assert stats.mean_utilisation() == pytest.approx(0.75)
+    assert stats.ipc_bytes_shipped == 150
+    data = stats.as_dict()
+    assert data["ipc_bytes_shipped"] == 150
+    assert data["worker_utilisation"] == util
+    assert data["shm_bytes"] == 4096
+    assert json.dumps(data)  # snapshot-serialisable
 
 
 def test_run_tasks_rejects_nonpositive_parallel():
@@ -150,6 +221,40 @@ def test_report_from_dict_tolerates_missing_fields():
 def test_run_bench_rejects_unknown_experiments():
     with pytest.raises(ReproError):
         run_bench(names=("not-an-experiment",))
+
+
+def test_report_pool_telemetry_roundtrips_and_tolerates_absence():
+    report = _report("ccc", 3.0, {"fig13": 10.0})
+    stats = PoolStats(workers=2, wall_seconds=1.0, tasks=2,
+                      ipc_task_bytes=10, ipc_result_bytes=5,
+                      shm_bytes=2048)
+    stats.busy_seconds = {0: 0.4, 1: 0.6}
+    stats.worker_tasks = {0: 1, 1: 1}
+    stats.task_seconds = {"deadbeefdeadbeef": 0.5}
+    report.pool = stats.as_dict()
+    again = _report_from_dict(report.as_dict())
+    assert again.pool == report.pool
+    assert "(pool)" in again.table()
+    # pre-pool snapshots (and serial-only runs) simply have no pool
+    # block — compare() and the table must not care
+    old = _report_from_dict({"experiments": {
+        "fig13": {"seconds": 1.0, "score": 10.0}}})
+    assert old.pool is None
+    assert "(pool)" not in old.table()
+    _, regressions = report.compare(old, tolerance=0.25)
+    assert regressions == []
+
+
+def test_load_cost_hints_reads_latest_baseline(tmp_path):
+    assert load_cost_hints(tmp_path) == {}  # no snapshots yet
+    old = _report("aaa", 1.0, {"fig13": 10.0})
+    write_report(old, tmp_path)
+    assert load_cost_hints(tmp_path) == {}  # serial snapshot: no pool
+    new = _report("bbb", 2.0, {"fig13": 11.0})
+    new.pool = {"task_seconds": {"deadbeefdeadbeef": 1.5}}
+    write_report(new, tmp_path)
+    assert load_cost_hints(tmp_path) == {"deadbeefdeadbeef": 1.5}
+    assert load_cost_hints(tmp_path / "missing") == {}
 
 
 def test_speedup_uses_serial_total_over_parallel_wall():
